@@ -1,0 +1,23 @@
+//! The applications the paper replicates with uBFT (§7.1):
+//!
+//! * [`flip::FlipApp`] — the toy app that reverses its input;
+//! * [`kv::KvApp`] — an in-memory key-value store with Memcached-like and
+//!   Redis-like frontends;
+//! * [`orderbook::OrderBookApp`] — a Liquibook-style price-time-priority
+//!   financial order matching engine.
+//!
+//! All three are genuine deterministic implementations of the
+//! [`ubft_core::App`] trait. Each carries a calibrated per-request CPU cost
+//! so the *unreplicated* end-to-end latencies land near the paper's Figure 7
+//! measurements (the production binaries have heavier stacks than these
+//! in-process engines); the replication *overhead* — the paper's claim — is
+//! then measured, never assumed.
+
+pub mod flip;
+pub mod kv;
+pub mod orderbook;
+pub mod workload;
+
+pub use flip::FlipApp;
+pub use kv::{KvApp, KvFrontend, KvOp};
+pub use orderbook::{OrderBookApp, OrderOp};

@@ -1,0 +1,128 @@
+//! Deterministic workload generators matching §7.1.
+
+use ubft_types::wire::Wire;
+
+use crate::kv::KvOp;
+use crate::orderbook::OrderOp;
+
+/// A simple deterministic generator (SplitMix64) decoupled from the
+/// simulator's RNG so workloads are identical across systems under test.
+#[derive(Clone, Debug)]
+pub struct WorkloadRng(u64);
+
+impl WorkloadRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        WorkloadRng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, bound: u64) -> u64 {
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Fixed-size payloads for Flip / no-op sweeps.
+pub fn flip_request(rng: &mut WorkloadRng, size: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; size];
+    for b in buf.iter_mut() {
+        *b = rng.next() as u8;
+    }
+    buf
+}
+
+/// The paper's KV mix: 16 B keys, 32 B values, 30% GET of which 80% hit.
+/// Keys are drawn from a pool sized so the hit rate holds.
+pub fn kv_request(rng: &mut WorkloadRng, populated: &mut u64) -> Vec<u8> {
+    let is_get = rng.range(100) < 30;
+    if is_get && *populated > 0 {
+        // 80% of GETs target an existing key.
+        let hit = rng.range(100) < 80;
+        let key_id = if hit {
+            rng.range(*populated)
+        } else {
+            *populated + rng.range(1000)
+        };
+        KvOp::Get { key: key_bytes(key_id) }.to_bytes()
+    } else {
+        let key_id = *populated;
+        *populated += 1;
+        let mut value = vec![0u8; 32];
+        for b in value.iter_mut() {
+            *b = rng.next() as u8;
+        }
+        KvOp::Set { key: key_bytes(key_id), value }.to_bytes()
+    }
+}
+
+fn key_bytes(id: u64) -> Vec<u8> {
+    let mut key = vec![0u8; 16];
+    key[..8].copy_from_slice(&id.to_le_bytes());
+    key
+}
+
+/// The paper's Liquibook mix: 50% BUY / 50% SELL, prices in a narrow band.
+pub fn order_request(rng: &mut WorkloadRng) -> Vec<u8> {
+    let price = 995 + rng.range(10) as u32;
+    let qty = 1 + rng.range(10) as u32;
+    if rng.range(2) == 0 {
+        OrderOp::Buy { price, qty }.to_bytes()
+    } else {
+        OrderOp::Sell { price, qty }.to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = WorkloadRng::new(9);
+        let mut b = WorkloadRng::new(9);
+        let mut pa = 0;
+        let mut pb = 0;
+        for _ in 0..100 {
+            assert_eq!(kv_request(&mut a, &mut pa), kv_request(&mut b, &mut pb));
+        }
+    }
+
+    #[test]
+    fn kv_mix_ratio_roughly_holds() {
+        let mut rng = WorkloadRng::new(3);
+        let mut populated = 0;
+        let mut gets = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let req = kv_request(&mut rng, &mut populated);
+            if let Ok(KvOp::Get { .. }) = KvOp::from_bytes(&req) {
+                gets += 1;
+            }
+        }
+        let ratio = gets as f64 / n as f64;
+        assert!((0.25..0.35).contains(&ratio), "GET ratio {ratio}");
+    }
+
+    #[test]
+    fn flip_request_sizes() {
+        let mut rng = WorkloadRng::new(1);
+        assert_eq!(flip_request(&mut rng, 32).len(), 32);
+        assert_eq!(flip_request(&mut rng, 2048).len(), 2048);
+    }
+
+    #[test]
+    fn orders_parse() {
+        let mut rng = WorkloadRng::new(7);
+        for _ in 0..100 {
+            let req = order_request(&mut rng);
+            assert!(OrderOp::from_bytes(&req).is_ok());
+        }
+    }
+}

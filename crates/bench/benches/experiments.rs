@@ -1,0 +1,72 @@
+//! Criterion wrappers around the paper experiments: each benchmark runs a
+//! small simulated workload end to end, so `cargo bench` exercises every
+//! figure's code path. The printed *virtual-time* figures come from the
+//! `fig*` binaries; these benchmarks measure the simulator's own wall-clock
+//! cost and guard against regressions in the experiment harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ubft_bench::{make_apps, make_workload, run_ubft};
+use ubft_minbft::ClientAuth;
+use ubft_runtime::{baselines, SimConfig};
+
+const SAMPLES: u64 = 60;
+
+fn bench_fig7_cells(c: &mut Criterion) {
+    c.bench_function("fig7/ubft_fast_flip", |b| {
+        b.iter(|| run_ubft("flip", 32, SAMPLES, SimConfig::paper_default(1).fast_only()))
+    });
+    c.bench_function("fig7/mu_flip", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::paper_default(1);
+            let mut app = make_apps("flip", 1).pop().expect("app");
+            baselines::run_mu(&cfg, app.as_mut(), make_workload("flip", 32), SAMPLES, 10)
+        })
+    });
+    c.bench_function("fig7/unreplicated_flip", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::paper_default(1);
+            let mut app = make_apps("flip", 1).pop().expect("app");
+            baselines::run_unreplicated(&cfg, app.as_mut(), make_workload("flip", 32), SAMPLES, 10)
+        })
+    });
+}
+
+fn bench_fig8_cells(c: &mut Criterion) {
+    c.bench_function("fig8/ubft_slow_noop", |b| {
+        b.iter(|| run_ubft("noop", 64, 30, SimConfig::paper_default(1).slow_only()))
+    });
+    c.bench_function("fig8/minbft_hmac_noop", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::paper_default(1);
+            let mut app = make_apps("noop", 1).pop().expect("app");
+            baselines::run_minbft(
+                &cfg,
+                ClientAuth::EnclaveHmac,
+                app.as_mut(),
+                make_workload("noop", 64),
+                SAMPLES,
+                10,
+            )
+        })
+    });
+}
+
+fn bench_fig11_cell(c: &mut Criterion) {
+    c.bench_function("fig11/t16_64B", |b| {
+        b.iter(|| {
+            run_ubft(
+                "noop",
+                64,
+                SAMPLES,
+                SimConfig::paper_default(1).fast_only().with_tail(16).with_max_request(64),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig7_cells, bench_fig8_cells, bench_fig11_cell
+}
+criterion_main!(benches);

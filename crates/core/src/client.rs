@@ -1,0 +1,198 @@
+//! The uBFT client state machine.
+//!
+//! Clients send unsigned requests to *all* replicas (the fast path's echo
+//! round makes this safe, §5.4) and accept a result once `f + 1` replicas
+//! return matching payloads.
+
+use ubft_crypto::{sha256, Digest};
+use ubft_types::{ClientId, ReplicaId, RequestId};
+
+use crate::msg::{Reply, Request};
+
+/// Effects emitted by the client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientEffect {
+    /// Send `req` to replica `to`.
+    SendRequest {
+        /// Destination replica.
+        to: ReplicaId,
+        /// The request.
+        req: Request,
+    },
+    /// A result was accepted: `f + 1` matching replies arrived.
+    Complete {
+        /// The request that completed.
+        id: RequestId,
+        /// The agreed response payload.
+        payload: Vec<u8>,
+    },
+}
+
+/// A closed-loop uBFT client: one outstanding request at a time.
+#[derive(Clone, Debug)]
+pub struct Client {
+    id: ClientId,
+    replicas: Vec<ReplicaId>,
+    quorum: usize,
+    next_seq: u64,
+    current: Option<RequestId>,
+    votes: Vec<(ReplicaId, Digest)>,
+    done: bool,
+}
+
+impl Client {
+    /// Creates a client that needs `quorum` (`f + 1`) matching replies.
+    pub fn new(id: ClientId, replicas: Vec<ReplicaId>, quorum: usize) -> Self {
+        assert!(quorum >= 1 && quorum <= replicas.len());
+        Client { id, replicas, quorum, next_seq: 0, current: None, votes: Vec::new(), done: true }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Whether the previous request completed (a new one may be issued).
+    pub fn is_idle(&self) -> bool {
+        self.done
+    }
+
+    /// The id of the request in flight, if any.
+    pub fn in_flight(&self) -> Option<RequestId> {
+        if self.done {
+            None
+        } else {
+            self.current
+        }
+    }
+
+    /// Issues the next request with the given payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request is still in flight.
+    pub fn issue(&mut self, payload: Vec<u8>) -> (RequestId, Vec<ClientEffect>) {
+        assert!(self.done, "previous request still in flight");
+        let id = RequestId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        self.current = Some(id);
+        self.votes.clear();
+        self.done = false;
+        let req = Request { id, payload };
+        let fx = self
+            .replicas
+            .iter()
+            .map(|&to| ClientEffect::SendRequest { to, req: req.clone() })
+            .collect();
+        (id, fx)
+    }
+
+    /// Feeds a reply from a replica.
+    pub fn on_reply(&mut self, reply: Reply) -> Vec<ClientEffect> {
+        if self.done || self.current != Some(reply.id) {
+            return Vec::new();
+        }
+        if self.votes.iter().any(|(r, _)| *r == reply.replica) {
+            return Vec::new();
+        }
+        let digest = sha256(&reply.payload);
+        self.votes.push((reply.replica, digest));
+        let matching = self.votes.iter().filter(|(_, d)| *d == digest).count();
+        if matching >= self.quorum {
+            self.done = true;
+            return vec![ClientEffect::Complete { id: reply.id, payload: reply.payload }];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> Client {
+        Client::new(ClientId(7), vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)], 2)
+    }
+
+    fn reply(c: &Client, replica: u32, payload: &[u8]) -> Reply {
+        Reply {
+            id: c.in_flight().unwrap(),
+            replica: ReplicaId(replica),
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn issue_sends_to_all_replicas() {
+        let mut c = client();
+        let (id, fx) = c.issue(b"hi".to_vec());
+        assert_eq!(fx.len(), 3);
+        assert_eq!(id.seq, 0);
+        assert!(!c.is_idle());
+    }
+
+    #[test]
+    fn completes_on_quorum() {
+        let mut c = client();
+        c.issue(b"req".to_vec());
+        assert!(c.on_reply(reply(&c, 0, b"out")).is_empty());
+        let fx = c.on_reply(reply(&c, 1, b"out"));
+        assert_eq!(
+            fx,
+            vec![ClientEffect::Complete {
+                id: RequestId::new(ClientId(7), 0),
+                payload: b"out".to_vec()
+            }]
+        );
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn byzantine_reply_cannot_win() {
+        let mut c = client();
+        c.issue(b"req".to_vec());
+        assert!(c.on_reply(reply(&c, 0, b"WRONG")).is_empty());
+        assert!(c.on_reply(reply(&c, 1, b"right")).is_empty());
+        let fx = c.on_reply(reply(&c, 2, b"right"));
+        assert!(matches!(&fx[..], [ClientEffect::Complete { payload, .. }] if payload == b"right"));
+    }
+
+    #[test]
+    fn duplicate_replica_replies_ignored() {
+        let mut c = client();
+        c.issue(b"req".to_vec());
+        assert!(c.on_reply(reply(&c, 0, b"out")).is_empty());
+        assert!(c.on_reply(reply(&c, 0, b"out")).is_empty());
+        assert!(!c.is_idle());
+    }
+
+    #[test]
+    fn stale_replies_ignored() {
+        let mut c = client();
+        c.issue(b"a".to_vec());
+        let stale = Reply {
+            id: RequestId::new(ClientId(7), 99),
+            replica: ReplicaId(0),
+            payload: b"x".to_vec(),
+        };
+        assert!(c.on_reply(stale).is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let mut c = client();
+        let (id0, _) = c.issue(b"a".to_vec());
+        c.on_reply(reply(&c, 0, b"r"));
+        c.on_reply(reply(&c, 1, b"r"));
+        let (id1, _) = c.issue(b"b".to_vec());
+        assert_eq!(id0.seq + 1, id1.seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn double_issue_panics() {
+        let mut c = client();
+        c.issue(b"a".to_vec());
+        c.issue(b"b".to_vec());
+    }
+}

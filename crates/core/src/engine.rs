@@ -1,0 +1,1680 @@
+//! The uBFT replica engine: Algorithms 2 (common case), 3 (view change),
+//! 4 (summaries), and 5 (Byzantine checks) as one sans-IO state machine.
+//!
+//! The runtime owns transport, CTBcast instances, registers, the clock, and
+//! the application; the engine owns protocol state. Crypto runs inline (the
+//! simulation's key ring is cheap) but every operation is metered in
+//! [`CryptoOps`] so the runtime charges the paper-calibrated virtual time
+//! (sign ≈ 17 µs, verify ≈ 45 µs) before the resulting effects act.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use ubft_crypto::{Certificate, Digest, KeyRing, Signer};
+use ubft_types::{ClusterParams, ProcessId, ReplicaId, RequestId, SeqId, Slot, View};
+
+use crate::msg::{
+    summary_sign_bytes, vc_sign_bytes, CheckpointCert, CheckpointData, CommitCert, CtbMsg,
+    DirectMsg, Prepare, Request, StateSummary, TbMsg, VcCert,
+};
+
+/// Which replication path(s) the engine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathMode {
+    /// Signature-less fast path only (failure-free experiments).
+    FastOnly,
+    /// Slow path only: sign CERTIFY immediately, skip WILL_* rounds
+    /// (the paper's forced-slow-path measurements).
+    SlowOnly,
+    /// Fast path with slow-path fallback on timeout (deployed mode).
+    FastWithFallback,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Cluster shape and windows.
+    pub params: ClusterParams,
+    /// Path selection.
+    pub path: PathMode,
+    /// How many of its own CTBcast messages a broadcaster may run ahead of
+    /// its last completed summary before blocking (Algorithm 4; the paper
+    /// double-buffers with summaries every `t/2`).
+    pub summary_half: u64,
+    /// Whether the leader waits for follower echoes before proposing
+    /// (§5.4's protection against Byzantine clients that send a request
+    /// only to the leader). Disabled in the echo ablation.
+    pub echo_round: bool,
+}
+
+impl EngineConfig {
+    /// Deployed defaults for the given cluster parameters.
+    pub fn new(params: ClusterParams, path: PathMode) -> Self {
+        let summary_half = (params.tail / 2).max(1) as u64;
+        EngineConfig { params, path, summary_half, echo_round: true }
+    }
+}
+
+/// Timers the engine asks the runtime to arm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// Leader-progress watchdog; fires a view change when stuck.
+    Progress,
+    /// Fast-path timeout for one slot; starts the slow path.
+    SlotSlowTrigger(Slot),
+    /// Echo-round fallback: propose even without all echoes.
+    EchoFallback(RequestId),
+}
+
+/// Metered crypto work, converted to virtual time by the runtime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CryptoOps {
+    /// Signatures generated.
+    pub signs: u32,
+    /// Signatures verified.
+    pub verifies: u32,
+}
+
+impl CryptoOps {
+    /// Adds another batch of operations.
+    pub fn add(&mut self, other: CryptoOps) {
+        self.signs += other.signs;
+        self.verifies += other.verifies;
+    }
+
+    /// Whether any work was metered.
+    pub fn is_zero(&self) -> bool {
+        self.signs == 0 && self.verifies == 0
+    }
+}
+
+/// Effects the runtime must execute on the engine's behalf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// Broadcast on this replica's CTBcast stream.
+    CtbBroadcast(CtbMsg),
+    /// Broadcast on this replica's consensus TBcast stream.
+    TbBroadcast(TbMsg),
+    /// Send a point-to-point message.
+    SendReplica {
+        /// Destination.
+        to: ReplicaId,
+        /// The message.
+        msg: DirectMsg,
+    },
+    /// Apply `req` as slot `slot` to the application and reply to its
+    /// client. Emitted strictly in slot order.
+    Execute {
+        /// The decided slot.
+        slot: Slot,
+        /// The decided request.
+        req: Request,
+    },
+    /// Ask the application for a state digest after every slot `< base` has
+    /// been applied; answer via [`Engine::on_snapshot`].
+    RequestSnapshot {
+        /// First slot *not* covered by the snapshot.
+        base: Slot,
+    },
+    /// Arm (or re-arm) a timer; the runtime picks the duration and calls
+    /// [`Engine::on_timer`] when it fires.
+    ArmTimer {
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// The stable checkpoint advanced (bookkeeping hook for the runtime).
+    CheckpointAdopted {
+        /// New first open slot.
+        base: Slot,
+    },
+    /// The replica moved to a new view (informational).
+    ViewChanged {
+        /// The new view.
+        view: View,
+    },
+    /// A peer was detected Byzantine and its stream blocked.
+    ByzantineDetected {
+        /// The culprit.
+        replica: ReplicaId,
+        /// Human-readable evidence.
+        reason: String,
+    },
+}
+
+/// Per-peer consensus bookkeeping (Algorithm 2 lines 7–12), interpreted
+/// strictly in CTBcast-FIFO order.
+#[derive(Clone, Debug)]
+struct PeerState {
+    view: View,
+    seal_view: Option<View>,
+    new_view: Option<Vec<VcCert>>,
+    prepares: BTreeMap<Slot, Prepare>,
+    commits: BTreeMap<Slot, CommitCert>,
+    checkpoint: CheckpointCert,
+    /// Next CTBcast id expected from this peer (FIFO interpretation).
+    fifo_next: SeqId,
+    /// Out-of-order CTBcast deliveries awaiting their predecessors.
+    pending: BTreeMap<SeqId, CtbMsg>,
+}
+
+impl PeerState {
+    fn new() -> Self {
+        PeerState {
+            view: View(0),
+            seal_view: None,
+            new_view: None,
+            prepares: BTreeMap::new(),
+            commits: BTreeMap::new(),
+            checkpoint: CheckpointCert::genesis(),
+            fifo_next: SeqId(1),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    fn open_window(&self, window: usize) -> (Slot, Slot) {
+        let base = self.checkpoint.data.base;
+        (base, Slot(base.0 + window as u64))
+    }
+
+    fn in_window(&self, slot: Slot, window: usize) -> bool {
+        let (lo, hi) = self.open_window(window);
+        slot >= lo && slot < hi
+    }
+
+    fn summary(&self) -> StateSummary {
+        // A bounded synopsis: the latest commits are the only ones that can
+        // still matter (older open slots are decided/checkpointed before the
+        // window advances); bounding them keeps summaries and view-change
+        // certificates within one transport slot. DESIGN.md §7 records this
+        // as a deviation from the unbounded pseudocode.
+        const SUMMARY_COMMIT_CAP: usize = 4;
+        let skip = self.commits.len().saturating_sub(SUMMARY_COMMIT_CAP);
+        StateSummary {
+            checkpoint: Some(self.checkpoint.clone()),
+            commits: self.commits.iter().skip(skip).map(|(s, c)| (*s, c.clone())).collect(),
+        }
+    }
+
+    fn apply_summary(&mut self, s: &StateSummary) {
+        if let Some(cp) = &s.checkpoint {
+            if cp.supersedes(&self.checkpoint) {
+                self.checkpoint = cp.clone();
+            }
+        }
+        for (slot, c) in &s.commits {
+            self.commits.insert(*slot, c.clone());
+        }
+    }
+}
+
+/// Per-slot consensus state.
+#[derive(Clone, Debug, Default)]
+struct SlotState {
+    /// The accepted proposal (from the current leader's stream).
+    prepare: Option<Prepare>,
+    /// Prepares seen but held until the client request arrives directly.
+    held_prepare: Option<Prepare>,
+    will_certify: BTreeSet<ReplicaId>,
+    will_commit: BTreeSet<ReplicaId>,
+    sent_will_certify: bool,
+    sent_will_commit: bool,
+    /// View in which this replica promised WILL_COMMIT (view-change duty).
+    promised_in: Option<View>,
+    /// CERTIFY shares collected over our accepted prepare.
+    cert: Certificate,
+    sent_certify: bool,
+    sent_commit: bool,
+    /// Replicas whose COMMIT (with matching prepare) we delivered.
+    commit_from: BTreeSet<ReplicaId>,
+    decided: Option<Request>,
+}
+
+/// A point-in-time snapshot of an engine's protocol state, for operator
+/// dashboards and stall diagnosis (see [`Engine::diag`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineDiag {
+    /// The replica.
+    pub me: ReplicaId,
+    /// Current view.
+    pub view: View,
+    /// View being sealed, if a view change is in progress.
+    pub sealing: Option<View>,
+    /// Requests decided so far.
+    pub decided: u64,
+    /// First slot not yet executed.
+    pub exec_next: Slot,
+    /// Leader only: next proposal slot.
+    pub next_slot: Slot,
+    /// Stable checkpoint base.
+    pub checkpoint_base: Slot,
+    /// Requests seen but not yet executed.
+    pub outstanding: usize,
+    /// Leader: requests queued for proposal.
+    pub propose_queue: usize,
+    /// Undecided slots with an accepted prepare.
+    pub open_prepares: usize,
+    /// CTBcast messages sent on our own stream.
+    pub ctb_sent: u64,
+    /// Highest summarized CTBcast id on our own stream.
+    pub summary_done: u64,
+    /// CTBcast messages blocked behind the summary gate.
+    pub ctb_queued: usize,
+    /// Peers branded Byzantine.
+    pub byzantine: usize,
+}
+
+impl std::fmt::Display for EngineDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "r{} view={} sealing={:?} decided={} exec_next={} next_slot={} cp={} \
+             outstanding={} queue={} open_prepares={} ctb sent/summarized/queued={}/{}/{} byz={}",
+            self.me.0,
+            self.view.0,
+            self.sealing.map(|v| v.0),
+            self.decided,
+            self.exec_next.0,
+            self.next_slot.0,
+            self.checkpoint_base.0,
+            self.outstanding,
+            self.propose_queue,
+            self.open_prepares,
+            self.ctb_sent,
+            self.summary_done,
+            self.ctb_queued,
+            self.byzantine,
+        )
+    }
+}
+
+/// The uBFT replica state machine.
+pub struct Engine {
+    me: ReplicaId,
+    cfg: EngineConfig,
+    ring: KeyRing,
+    signer: Signer,
+    view: View,
+    /// Leader only: next slot to propose into.
+    next_slot: Slot,
+    /// My stable checkpoint.
+    checkpoint: CheckpointCert,
+    /// Highest checkpoint base already broadcast on our own CTBcast stream.
+    /// Peers validate our proposals against the checkpoint they saw on our
+    /// stream, so every adoption must be announced there exactly once, and
+    /// *before* any proposal into the new window.
+    cp_broadcast_base: Slot,
+    /// Highest view for which we broadcast SEAL_VIEW on our own stream.
+    /// Peers accept our NEW_VIEW only after seeing our seal, so entering a
+    /// view as leader must announce the seal first.
+    seal_emitted: View,
+    /// Next slot to hand to the application.
+    exec_next: Slot,
+    /// Outstanding snapshot request base (avoid duplicates).
+    snapshot_pending: Option<Slot>,
+    state: BTreeMap<ReplicaId, PeerState>,
+    slots: BTreeMap<Slot, SlotState>,
+    byzantine: BTreeSet<ReplicaId>,
+    /// Requests received directly from clients.
+    seen_requests: HashMap<RequestId, Request>,
+    /// Requests seen but not yet executed (liveness tracking).
+    outstanding: BTreeMap<RequestId, Request>,
+    /// Highest executed client sequence per client (bounded dedup cache,
+    /// like PBFT's last-reply table).
+    last_exec_seq: HashMap<ubft_types::ClientId, u64>,
+    /// Leader: echo counts per request.
+    echoes: HashMap<RequestId, BTreeSet<ReplicaId>>,
+    /// Leader: requests ready to propose.
+    propose_queue: VecDeque<Request>,
+    /// Requests already proposed/decided (dedup).
+    proposed: HashSet<RequestId>,
+    /// Summary gating (Algorithm 4).
+    my_ctb_sent: u64,
+    summary_done_upto: u64,
+    queued_ctb: VecDeque<CtbMsg>,
+    /// Summary shares collected (as broadcaster): upto -> digest -> cert.
+    summary_shares: BTreeMap<u64, HashMap<Digest, Certificate>>,
+    /// View-change shares collected (as incoming leader), keyed by
+    /// `(view, about)` — shares signed in different views cover different
+    /// bytes and must never be merged into one certificate.
+    vc_shares: HashMap<(View, ReplicaId), HashMap<Digest, (StateSummary, Certificate)>>,
+    /// Slots with an outstanding WILL_COMMIT promise blocking our SEAL_VIEW.
+    sealing: Option<View>,
+    /// The view for which we (as leader) have broadcast NEW_VIEW.
+    new_view_broadcast: Option<View>,
+    /// Certificates already verified (content digest), to avoid re-metering.
+    verified_certs: HashSet<Digest>,
+    /// Checkpoint certification shares keyed by (base, app digest).
+    cp_shares: BTreeMap<(Slot, Digest), Certificate>,
+    /// Decide counter for the progress watchdog.
+    decide_count: u64,
+    armed_marker: u64,
+    /// Consecutive fruitless view changes (PBFT-style timeout backoff);
+    /// reset on every decide.
+    vc_streak: u32,
+    ops: CryptoOps,
+}
+
+impl Engine {
+    /// Creates a replica engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` has no key for `me`.
+    pub fn new(me: ReplicaId, cfg: EngineConfig, ring: KeyRing) -> Self {
+        let signer = ring.signer(ProcessId::Replica(me)).expect("key for me");
+        let state = cfg.params.replicas().map(|r| (r, PeerState::new())).collect();
+        Engine {
+            me,
+            cfg,
+            ring,
+            signer,
+            view: View(0),
+            next_slot: Slot(0),
+            checkpoint: CheckpointCert::genesis(),
+            cp_broadcast_base: Slot(0),
+            seal_emitted: View(0),
+            exec_next: Slot(0),
+            snapshot_pending: None,
+            state,
+            slots: BTreeMap::new(),
+            byzantine: BTreeSet::new(),
+            seen_requests: HashMap::new(),
+            outstanding: BTreeMap::new(),
+            last_exec_seq: HashMap::new(),
+            echoes: HashMap::new(),
+            propose_queue: VecDeque::new(),
+            proposed: HashSet::new(),
+            my_ctb_sent: 0,
+            summary_done_upto: 0,
+            queued_ctb: VecDeque::new(),
+            summary_shares: BTreeMap::new(),
+            vc_shares: HashMap::new(),
+            sealing: None,
+            new_view_broadcast: None,
+            verified_certs: HashSet::new(),
+            cp_shares: BTreeMap::new(),
+            decide_count: 0,
+            armed_marker: 0,
+            vc_streak: 0,
+            ops: CryptoOps::default(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// The current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// The current leader.
+    pub fn leader(&self) -> ReplicaId {
+        self.view.leader(self.cfg.params.n())
+    }
+
+    /// Whether this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.leader() == self.me
+    }
+
+    /// Number of requests decided so far.
+    pub fn decided_count(&self) -> u64 {
+        self.decide_count
+    }
+
+    /// First slot not yet executed.
+    pub fn exec_next(&self) -> Slot {
+        self.exec_next
+    }
+
+    /// Replicas this engine has branded Byzantine.
+    pub fn byzantine_peers(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.byzantine.iter().copied()
+    }
+
+    /// The next CTBcast id this engine expects from `stream`'s broadcast
+    /// sequence (FIFO interpretation position; diagnostics).
+    pub fn fifo_position(&self, stream: ReplicaId) -> SeqId {
+        self.state.get(&stream).map_or(SeqId(1), |ps| ps.fifo_next)
+    }
+
+    /// Snapshots the protocol state for diagnostics.
+    pub fn diag(&self) -> EngineDiag {
+        EngineDiag {
+            me: self.me,
+            view: self.view,
+            sealing: self.sealing,
+            decided: self.decide_count,
+            exec_next: self.exec_next,
+            next_slot: self.next_slot,
+            checkpoint_base: self.checkpoint.data.base,
+            outstanding: self.outstanding.len(),
+            propose_queue: self.propose_queue.len(),
+            open_prepares: self
+                .slots
+                .values()
+                .filter(|s| s.prepare.is_some() && s.decided.is_none())
+                .count(),
+            ctb_sent: self.my_ctb_sent,
+            summary_done: self.summary_done_upto,
+            ctb_queued: self.queued_ctb.len(),
+            byzantine: self.byzantine.len(),
+        }
+    }
+
+    /// Drains the crypto-operation meter accumulated since the last call.
+    pub fn take_crypto_ops(&mut self) -> CryptoOps {
+        std::mem::take(&mut self.ops)
+    }
+
+    fn quorum(&self) -> usize {
+        self.cfg.params.quorum()
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.params.n()
+    }
+
+    fn window(&self) -> usize {
+        self.cfg.params.window
+    }
+
+    fn sign(&mut self, bytes: &[u8]) -> ubft_crypto::Signature {
+        self.ops.signs += 1;
+        self.signer.sign(bytes)
+    }
+
+    fn verify(&mut self, who: ReplicaId, bytes: &[u8], sig: &ubft_crypto::Signature) -> bool {
+        self.ops.verifies += 1;
+        self.ring.verify(ProcessId::Replica(who), bytes, sig)
+    }
+
+    /// Verifies a certificate once per content; repeated identical
+    /// certificates cost nothing (verification caching).
+    fn verify_cert(&mut self, cert: &Certificate, bytes: &[u8], quorum: usize) -> bool {
+        let mut key = bytes.to_vec();
+        use ubft_types::wire::Wire;
+        cert.encode(&mut key);
+        let digest = ubft_crypto::sha256(&key);
+        if self.verified_certs.contains(&digest) {
+            return true;
+        }
+        self.ops.verifies += cert.count() as u32;
+        let ok = cert.verify(&self.ring, bytes, quorum);
+        if ok {
+            self.verified_certs.insert(digest);
+        }
+        ok
+    }
+
+    /// Registers a locally-built certificate as verified (it is made of
+    /// shares we already checked), so re-verification costs nothing.
+    fn note_own_cert(&mut self, cert: &Certificate, bytes: &[u8]) {
+        let mut key = bytes.to_vec();
+        use ubft_types::wire::Wire;
+        cert.encode(&mut key);
+        self.verified_certs.insert(ubft_crypto::sha256(&key));
+    }
+
+    // ------------------------------------------------------------------
+    // CTBcast emission with summary gating (Algorithm 4 lines 4–9)
+    // ------------------------------------------------------------------
+
+    fn ctb_gate_open(&self) -> bool {
+        // May run at most `t` messages past the last summarized boundary —
+        // the CTBcast tail is the hard budget. With summaries triggered
+        // every `t/2` (the default), the next summary is already being
+        // collected while the second half of the budget is spent (double
+        // buffering, §5.2 footnote 3); triggering only every `t` makes the
+        // broadcaster stall at each boundary for a full summary round-trip.
+        self.my_ctb_sent < self.summary_done_upto + self.cfg.params.tail as u64
+    }
+
+    fn emit_ctb(&mut self, fx: &mut Vec<Effect>, msg: CtbMsg) {
+        if self.ctb_gate_open() && self.queued_ctb.is_empty() {
+            self.my_ctb_sent += 1;
+            fx.push(Effect::CtbBroadcast(msg));
+        } else {
+            self.queued_ctb.push_back(msg);
+        }
+    }
+
+    fn flush_ctb_queue(&mut self, fx: &mut Vec<Effect>) {
+        while !self.queued_ctb.is_empty() && self.ctb_gate_open() {
+            let msg = self.queued_ctb.pop_front().expect("nonempty");
+            self.my_ctb_sent += 1;
+            fx.push(Effect::CtbBroadcast(msg));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client requests and the echo round (§5.4)
+    // ------------------------------------------------------------------
+
+    fn already_executed(&self, id: &RequestId) -> bool {
+        self.last_exec_seq.get(&id.client).is_some_and(|hi| *hi >= id.seq + 1)
+    }
+
+    /// A client request arrived directly at this replica.
+    pub fn on_client_request(&mut self, req: Request) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if self.seen_requests.contains_key(&req.id) || self.already_executed(&req.id) {
+            return fx;
+        }
+        self.seen_requests.insert(req.id, req.clone());
+        self.outstanding.insert(req.id, req.clone());
+        if self.is_leader() {
+            self.echoes.entry(req.id).or_default();
+            self.maybe_enqueue_proposal(req.id);
+            if !self.proposed.contains(&req.id) {
+                fx.push(Effect::ArmTimer { kind: TimerKind::EchoFallback(req.id) });
+            }
+        } else {
+            fx.push(Effect::SendReplica { to: self.leader(), msg: DirectMsg::Echo { req } });
+        }
+        // A held prepare may now be acceptable.
+        fx.extend(self.retry_held_prepares());
+        self.propose_ready(&mut fx);
+        fx
+    }
+
+    /// A follower echoed a client request to us (we may be the leader).
+    pub fn on_echo(&mut self, from: ReplicaId, req: Request) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if !self.is_leader() {
+            return fx;
+        }
+        self.echoes.entry(req.id).or_default().insert(from);
+        if !self.seen_requests.contains_key(&req.id) && !self.already_executed(&req.id) {
+            // We may yet receive it directly; remember the content so an
+            // echo-quorum can still propose it.
+            self.seen_requests.insert(req.id, req.clone());
+            self.outstanding.insert(req.id, req.clone());
+        }
+        self.maybe_enqueue_proposal(req.id);
+        self.propose_ready(&mut fx);
+        fx
+    }
+
+    /// The echo-fallback timer for `id` fired: propose without full echoes.
+    pub fn on_echo_timeout(&mut self, id: RequestId) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if self.is_leader() && !self.proposed.contains(&id) {
+            if let Some(req) = self.seen_requests.get(&id).cloned() {
+                self.proposed.insert(id);
+                self.propose_queue.push_back(req);
+            }
+        }
+        self.propose_ready(&mut fx);
+        fx
+    }
+
+    fn maybe_enqueue_proposal(&mut self, id: RequestId) {
+        if self.proposed.contains(&id) {
+            return;
+        }
+        let echoes = self.echoes.get(&id).map_or(0, |s| s.len());
+        let have_direct = self.seen_requests.contains_key(&id);
+        // Echo round: all followers must have echoed (they hold the request)
+        // before the leader proposes; the EchoFallback timer covers
+        // Byzantine silence. After a view change the echo requirement is
+        // dropped (followers accept re-proposals without direct receipt).
+        let enough_echoes =
+            !self.cfg.echo_round || echoes >= self.n() - 1 || self.view > View(0);
+        if have_direct && enough_echoes {
+            self.proposed.insert(id);
+            let req = self.seen_requests.get(&id).cloned().expect("have_direct");
+            self.propose_queue.push_back(req);
+        }
+    }
+
+    fn propose_ready(&mut self, fx: &mut Vec<Effect>) {
+        if !self.is_leader() || self.sealing.is_some() {
+            return;
+        }
+        // Algorithm 2 line 15: in views > 0 the leader may propose only
+        // after broadcasting NEW_VIEW.
+        if self.view > View(0) && self.new_view_broadcast != Some(self.view) {
+            return;
+        }
+        // Algorithm 2 line 15: only into open slots; NEW_VIEW must have been
+        // broadcast first in views > 0 (ensured by `enter_view_as_leader`).
+        let (lo, hi) = (self.checkpoint.data.base, Slot(self.checkpoint.data.base.0 + self.window() as u64));
+        if self.next_slot < lo {
+            self.next_slot = lo;
+        }
+        while self.next_slot < hi {
+            let Some(req) = self.propose_queue.pop_front() else { break };
+            let slot = self.next_slot;
+            self.next_slot = self.next_slot.next();
+            let prepare = Prepare { view: self.view, slot, req };
+            self.emit_ctb(fx, CtbMsg::Prepare(prepare));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CTBcast stream interpretation: FIFO + Byzantine checks (Alg. 5)
+    // ------------------------------------------------------------------
+
+    /// A CTBcast message `(k, msg)` was delivered from `stream`.
+    pub fn on_ctb_deliver(&mut self, stream: ReplicaId, k: SeqId, msg: CtbMsg) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if self.byzantine.contains(&stream) {
+            return fx;
+        }
+        {
+            let ps = self.state.get_mut(&stream).expect("known replica");
+            if k < ps.fifo_next {
+                return fx; // duplicate
+            }
+            if k > ps.fifo_next {
+                ps.pending.insert(k, msg);
+                return fx; // gap: wait for predecessors or a summary
+            }
+        }
+        self.process_ctb_in_order(stream, k, msg, &mut fx);
+        self.drain_pending(stream, &mut fx);
+        fx
+    }
+
+    /// CTBcast reported proof of equivocation on `stream`.
+    pub fn on_ctb_equivocation(&mut self, stream: ReplicaId, _k: SeqId) -> Vec<Effect> {
+        self.brand_byzantine(stream, "ctbcast equivocation".into())
+    }
+
+    fn brand_byzantine(&mut self, who: ReplicaId, reason: String) -> Vec<Effect> {
+        if who == self.me || !self.byzantine.insert(who) {
+            return Vec::new();
+        }
+        vec![Effect::ByzantineDetected { replica: who, reason }]
+    }
+
+    fn drain_pending(&mut self, stream: ReplicaId, fx: &mut Vec<Effect>) {
+        loop {
+            if self.byzantine.contains(&stream) {
+                return;
+            }
+            let next = {
+                let ps = self.state.get_mut(&stream).expect("known");
+                let k = ps.fifo_next;
+                match ps.pending.remove(&k) {
+                    Some(m) => (k, m),
+                    None => return,
+                }
+            };
+            self.process_ctb_in_order(stream, next.0, next.1, fx);
+        }
+    }
+
+    fn process_ctb_in_order(
+        &mut self,
+        stream: ReplicaId,
+        k: SeqId,
+        msg: CtbMsg,
+        fx: &mut Vec<Effect>,
+    ) {
+        {
+            let ps = self.state.get_mut(&stream).expect("known");
+            debug_assert_eq!(ps.fifo_next, k);
+            ps.fifo_next = k.next();
+        }
+        // Algorithm 5 validity checks; a failure brands the stream.
+        if let Err(reason) = self.check_valid(stream, &msg) {
+            fx.extend(self.brand_byzantine(stream, reason));
+            return;
+        }
+        match msg {
+            CtbMsg::Prepare(p) => self.handle_prepare(stream, p, fx),
+            CtbMsg::Commit(c) => self.handle_commit(stream, c, fx),
+            CtbMsg::Checkpoint(c) => self.handle_checkpoint_msg(stream, c, fx),
+            CtbMsg::SealView { view } => self.handle_seal_view(stream, view, fx),
+            CtbMsg::NewView { view, certs } => self.handle_new_view(stream, view, certs, fx),
+        }
+        // Algorithm 4 line 1: summary shares at every boundary.
+        if k.0 % self.cfg.summary_half == 0 {
+            let ps = self.state.get(&stream).expect("known");
+            let summary = ps.summary();
+            let digest = summary.digest();
+            let sig = self.sign(&summary_sign_bytes(stream, k, &digest));
+            if stream == self.me {
+                // Self-share: start collecting.
+                fx.extend(self.accept_summary_share(self.me, k, digest, sig));
+            } else {
+                fx.push(Effect::SendReplica {
+                    to: stream,
+                    msg: DirectMsg::CertifySummary { stream, upto: k, digest, sig },
+                });
+            }
+        }
+    }
+
+    fn check_valid(&mut self, p: ReplicaId, msg: &CtbMsg) -> Result<(), String> {
+        let window = self.window();
+        match msg {
+            CtbMsg::Prepare(prep) => {
+                let ps = self.state.get(&p).expect("known");
+                if prep.view.leader(self.n()) != p {
+                    return Err(format!("prepare by non-leader of {}", prep.view));
+                }
+                if ps.view != prep.view {
+                    return Err(format!("prepare in {} but peer is in {}", prep.view, ps.view));
+                }
+                if !ps.in_window(prep.slot, window) {
+                    return Err(format!("prepare for {} outside window", prep.slot));
+                }
+                if ps.prepares.get(&prep.slot).is_some_and(|old| old.view == prep.view) {
+                    return Err(format!("double prepare for {}", prep.slot));
+                }
+                if prep.view > View(0) {
+                    let ps = self.state.get(&p).expect("known");
+                    let Some(certs) = ps.new_view.clone() else {
+                        return Err("prepare before new-view".into());
+                    };
+                    if let Some(required) = must_propose(prep.slot, &certs) {
+                        if required.digest() != prep.req.digest() {
+                            return Err(format!("prepare for {} ignores committed value", prep.slot));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            CtbMsg::Commit(c) => {
+                let ps = self.state.get(&p).expect("known");
+                if !ps.in_window(c.prepare.slot, window) {
+                    return Err(format!("commit for {} outside window", c.prepare.slot));
+                }
+                if c.prepare.view != ps.view {
+                    return Err(format!("commit in stale {}", c.prepare.view));
+                }
+                // The certificate itself: f+1 valid signatures over the
+                // prepare. Verified lazily unless we certified it ourselves.
+                let bytes = c.prepare.certify_bytes();
+                let own = self
+                    .slots
+                    .get(&c.prepare.slot)
+                    .and_then(|s| s.prepare.as_ref())
+                    .is_some_and(|pp| pp.digest_eq(&c.prepare) && self.slot_cert_complete(c.prepare.slot));
+                if !own && !self.verify_cert(&c.cert.clone(), &bytes, self.quorum()) {
+                    return Err("commit with invalid certificate".into());
+                }
+                Ok(())
+            }
+            CtbMsg::Checkpoint(c) => {
+                let ps = self.state.get(&p).expect("known");
+                if !c.supersedes(&ps.checkpoint) {
+                    return Err("stale checkpoint".into());
+                }
+                if !self.verify_cert(&c.cert.clone(), &c.data.sign_bytes(), self.quorum()) {
+                    return Err("checkpoint with invalid certificate".into());
+                }
+                Ok(())
+            }
+            CtbMsg::SealView { view } => {
+                let ps = self.state.get(&p).expect("known");
+                if ps.view >= *view {
+                    return Err(format!("seal of non-future {view}"));
+                }
+                Ok(())
+            }
+            CtbMsg::NewView { view, certs } => {
+                let ps = self.state.get(&p).expect("known");
+                if view.leader(self.n()) != p {
+                    return Err(format!("new-view by non-leader of {view}"));
+                }
+                if ps.view != *view {
+                    return Err("new-view for wrong view".into());
+                }
+                if ps.new_view.is_some() {
+                    return Err("duplicate new-view".into());
+                }
+                if certs.len() < self.quorum() {
+                    return Err("new-view with too few certificates".into());
+                }
+                let mut seen = BTreeSet::new();
+                for c in certs {
+                    if !seen.insert(c.about) {
+                        return Err("new-view with duplicate certificate subject".into());
+                    }
+                    let digest = c.summary.digest();
+                    let bytes = vc_sign_bytes(*view, c.about, &digest);
+                    if !self.verify_cert(&c.cert.clone(), &bytes, self.quorum()) {
+                        return Err("new-view with invalid certificate".into());
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn slot_cert_complete(&self, slot: Slot) -> bool {
+        self.slots.get(&slot).is_some_and(|s| s.cert.count() >= self.quorum())
+    }
+
+    // ------------------------------------------------------------------
+    // Common case (Algorithm 2)
+    // ------------------------------------------------------------------
+
+    fn handle_prepare(&mut self, stream: ReplicaId, prep: Prepare, fx: &mut Vec<Effect>) {
+        let ps = self.state.get_mut(&stream).expect("known");
+        ps.prepares.insert(prep.slot, prep.clone());
+        if prep.view != self.view || !self.in_my_window(prep.slot) {
+            return;
+        }
+        // §5.4: endorse only requests received directly from the client
+        // (no-ops and view-change re-proposals are exempt).
+        if !prep.req.is_noop()
+            && prep.view == View(0)
+            && !self.seen_requests.contains_key(&prep.req.id)
+        {
+            let entry = self.slots.entry(prep.slot).or_default();
+            entry.held_prepare = Some(prep);
+            return;
+        }
+        self.accept_prepare(prep, fx);
+    }
+
+    fn retry_held_prepares(&mut self) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let held: Vec<Prepare> = self
+            .slots
+            .values_mut()
+            .filter_map(|s| {
+                let ok = s
+                    .held_prepare
+                    .as_ref()
+                    .is_some_and(|p| self.seen_requests.contains_key(&p.req.id));
+                if ok {
+                    s.held_prepare.take()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for p in held {
+            self.accept_prepare(p, &mut fx);
+        }
+        fx
+    }
+
+    fn accept_prepare(&mut self, prep: Prepare, fx: &mut Vec<Effect>) {
+        let slot = prep.slot;
+        {
+            let entry = self.slots.entry(slot).or_default();
+            if entry.prepare.is_some() {
+                return;
+            }
+            entry.prepare = Some(prep.clone());
+        }
+        match self.cfg.path {
+            PathMode::FastOnly | PathMode::FastWithFallback => {
+                let entry = self.slots.entry(slot).or_default();
+                if !entry.sent_will_certify {
+                    entry.sent_will_certify = true;
+                    fx.push(Effect::TbBroadcast(TbMsg::WillCertify { view: prep.view, slot }));
+                }
+                if self.cfg.path == PathMode::FastWithFallback {
+                    fx.push(Effect::ArmTimer { kind: TimerKind::SlotSlowTrigger(slot) });
+                }
+            }
+            PathMode::SlowOnly => {
+                fx.extend(self.start_slow_path(slot));
+            }
+        }
+    }
+
+    /// Starts (or resumes) the slow path for `slot`: sign and broadcast our
+    /// CERTIFY share.
+    fn start_slow_path(&mut self, slot: Slot) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let Some(prep) = self.slots.get(&slot).and_then(|s| s.prepare.clone()) else {
+            return fx;
+        };
+        let entry = self.slots.entry(slot).or_default();
+        if entry.sent_certify {
+            return fx;
+        }
+        entry.sent_certify = true;
+        let sig = self.sign(&prep.certify_bytes());
+        // Our own share counts immediately.
+        let entry = self.slots.entry(slot).or_default();
+        entry.cert.add(ProcessId::Replica(self.me), sig);
+        fx.push(Effect::TbBroadcast(TbMsg::Certify { prepare: prep, sig }));
+        fx.extend(self.maybe_commit(slot));
+        fx
+    }
+
+    /// The fast-path timeout fired for `slot`.
+    pub fn on_slot_slow_trigger(&mut self, slot: Slot) -> Vec<Effect> {
+        if self.slots.get(&slot).is_some_and(|s| s.decided.is_some()) {
+            return Vec::new();
+        }
+        self.start_slow_path(slot)
+    }
+
+    /// A consensus TBcast message arrived from `from`.
+    pub fn on_tb_deliver(&mut self, from: ReplicaId, msg: TbMsg) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if self.byzantine.contains(&from) {
+            return fx;
+        }
+        match msg {
+            TbMsg::WillCertify { view, slot } => {
+                if view != self.view || !self.in_my_window(slot) {
+                    return fx;
+                }
+                let n = self.n();
+                let entry = self.slots.entry(slot).or_default();
+                entry.will_certify.insert(from);
+                if entry.will_certify.len() == n && !entry.sent_will_commit {
+                    entry.sent_will_commit = true;
+                    entry.promised_in = Some(view);
+                    fx.push(Effect::TbBroadcast(TbMsg::WillCommit { view, slot }));
+                }
+            }
+            TbMsg::WillCommit { view, slot } => {
+                if view != self.view || !self.in_my_window(slot) {
+                    return fx;
+                }
+                let entry = self.slots.entry(slot).or_default();
+                entry.will_commit.insert(from);
+                if entry.will_commit.len() == self.n() {
+                    let leader_prep = self
+                        .state
+                        .get(&view.leader(self.n()))
+                        .and_then(|ps| ps.prepares.get(&slot))
+                        .cloned();
+                    if let Some(prep) = leader_prep {
+                        fx.extend(self.decide(slot, prep.req));
+                    }
+                }
+            }
+            TbMsg::Certify { prepare, sig } => {
+                fx.extend(self.handle_certify_share(from, prepare, sig));
+            }
+            TbMsg::CertifyCheckpoint { data, sig } => {
+                fx.extend(self.handle_checkpoint_share(from, data, sig));
+            }
+            TbMsg::Summary { upto, summary, cert } => {
+                fx.extend(self.handle_summary(from, upto, summary, cert));
+            }
+        }
+        fx
+    }
+
+    fn handle_certify_share(
+        &mut self,
+        from: ReplicaId,
+        prepare: Prepare,
+        sig: ubft_crypto::Signature,
+        ) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let slot = prepare.slot;
+        if prepare.view != self.view || !self.in_my_window(slot) {
+            return fx;
+        }
+        // Only collect shares matching our accepted prepare.
+        let matches = self
+            .slots
+            .get(&slot)
+            .and_then(|s| s.prepare.as_ref())
+            .is_some_and(|p| p.digest_eq(&prepare));
+        if !matches {
+            // We may not have accepted a prepare yet (slow path initiated by
+            // a peer); accept it now if valid in the leader's stream.
+            if self.slots.get(&slot).and_then(|s| s.prepare.as_ref()).is_none() {
+                let in_leader_stream = self
+                    .state
+                    .get(&prepare.view.leader(self.n()))
+                    .and_then(|ps| ps.prepares.get(&slot))
+                    .is_some_and(|p| p.digest_eq(&prepare));
+                if in_leader_stream {
+                    self.accept_prepare(prepare.clone(), &mut fx);
+                } else {
+                    return fx;
+                }
+            } else {
+                return fx;
+            }
+        }
+        if from != self.me && !self.verify(from, &prepare.certify_bytes(), &sig) {
+            return fx;
+        }
+        let q = self.quorum();
+        let entry = self.slots.entry(slot).or_default();
+        entry.cert.add(ProcessId::Replica(from), sig);
+        if entry.cert.count() >= q {
+            fx.extend(self.maybe_commit(slot));
+        }
+        fx
+    }
+
+    /// Once we hold an `f + 1` certificate for our prepare, broadcast COMMIT
+    /// via CTBcast (Algorithm 2 line 36).
+    fn maybe_commit(&mut self, slot: Slot) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let q = self.quorum();
+        let ready = {
+            let Some(entry) = self.slots.get(&slot) else { return fx };
+            entry.cert.count() >= q && !entry.sent_commit && entry.prepare.is_some()
+        };
+        if !ready {
+            return fx;
+        }
+        let entry = self.slots.get_mut(&slot).expect("ready");
+        entry.sent_commit = true;
+        let prepare = entry.prepare.clone().expect("ready");
+        let cert = entry.cert.clone();
+        self.note_own_cert(&cert, &prepare.certify_bytes());
+        self.emit_ctb(&mut fx, CtbMsg::Commit(CommitCert { prepare, cert }));
+        fx.extend(self.check_seal_ready());
+        fx
+    }
+
+    fn handle_commit(&mut self, stream: ReplicaId, c: CommitCert, fx: &mut Vec<Effect>) {
+        let slot = c.prepare.slot;
+        {
+            let ps = self.state.get_mut(&stream).expect("known");
+            ps.commits.insert(slot, c.clone());
+        }
+        if c.prepare.view != self.view || !self.in_my_window(slot) {
+            return;
+        }
+        // Count COMMITs whose prepare matches; f+1 of them decide the slot
+        // (Algorithm 2 lines 38–41).
+        let entry = self.slots.entry(slot).or_default();
+        if let Some(our_prep) = entry.prepare.clone() {
+            if !our_prep.digest_eq(&c.prepare) {
+                return; // conflicting commit; view change will sort it out
+            }
+        } else {
+            entry.prepare = Some(c.prepare.clone());
+        }
+        let entry = self.slots.entry(slot).or_default();
+        entry.commit_from.insert(stream);
+        if entry.commit_from.len() >= self.quorum() {
+            let req = c.prepare.req.clone();
+            fx.extend(self.decide(slot, req));
+        }
+    }
+
+    fn decide(&mut self, slot: Slot, req: Request) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let entry = self.slots.entry(slot).or_default();
+        if entry.decided.is_some() {
+            return fx;
+        }
+        entry.decided = Some(req);
+        self.decide_count += 1;
+        self.vc_streak = 0;
+        self.try_execute(&mut fx);
+        fx
+    }
+
+    fn try_execute(&mut self, fx: &mut Vec<Effect>) {
+        loop {
+            let Some(req) = self
+                .slots
+                .get(&self.exec_next)
+                .and_then(|s| s.decided.clone())
+            else {
+                break;
+            };
+            self.outstanding.remove(&req.id);
+            // A request re-proposed across views may occupy two slots; only
+            // its first occurrence executes (PBFT-style last-reply dedup).
+            if !self.already_executed(&req.id) {
+                let hi = self.last_exec_seq.entry(req.id.client).or_insert(0);
+                *hi = (*hi).max(req.id.seq + 1);
+                fx.push(Effect::Execute { slot: self.exec_next, req });
+            }
+            self.exec_next = self.exec_next.next();
+        }
+        // Checkpoint when the whole window is executed (Algorithm 2 line 44).
+        let window_end = Slot(self.checkpoint.data.base.0 + self.window() as u64);
+        if self.exec_next >= window_end && self.snapshot_pending != Some(window_end) {
+            self.snapshot_pending = Some(window_end);
+            fx.push(Effect::RequestSnapshot { base: window_end });
+        }
+    }
+
+    fn in_my_window(&self, slot: Slot) -> bool {
+        let base = self.checkpoint.data.base;
+        slot >= base && slot < Slot(base.0 + self.window() as u64)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints
+    // ------------------------------------------------------------------
+
+    /// The runtime reports the application digest after applying every slot
+    /// `< base`.
+    pub fn on_snapshot(&mut self, base: Slot, app_digest: Digest) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if self.snapshot_pending != Some(base) {
+            return fx;
+        }
+        self.snapshot_pending = None;
+        let data = CheckpointData { base, app_digest };
+        let sig = self.sign(&data.sign_bytes());
+        fx.push(Effect::TbBroadcast(TbMsg::CertifyCheckpoint { data, sig }));
+        // Our own share participates too.
+        fx.extend(self.handle_checkpoint_share(self.me, data, sig));
+        fx
+    }
+
+    fn handle_checkpoint_share(
+        &mut self,
+        from: ReplicaId,
+        data: CheckpointData,
+        sig: ubft_crypto::Signature,
+    ) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if data.base <= self.checkpoint.data.base {
+            return fx;
+        }
+        if from != self.me && !self.verify(from, &data.sign_bytes(), &sig) {
+            return fx;
+        }
+        let quorum = self.quorum();
+        let entry = self
+            .cp_shares
+            .entry((data.base, data.app_digest))
+            .or_insert_with(Certificate::new);
+        entry.add(ProcessId::Replica(from), sig);
+        if entry.count() >= quorum {
+            let cert = entry.clone();
+            self.note_own_cert(&cert, &data.sign_bytes());
+            let cp = CheckpointCert { data, cert };
+            // adopt_checkpoint announces the adoption on our stream before
+            // any proposal into the freshly opened window.
+            fx.extend(self.adopt_checkpoint(cp));
+        }
+        fx
+    }
+
+    fn handle_checkpoint_msg(&mut self, stream: ReplicaId, c: CheckpointCert, fx: &mut Vec<Effect>) {
+        {
+            let window = self.window();
+            let ps = self.state.get_mut(&stream).expect("known");
+            ps.checkpoint = c.clone();
+            let (lo, hi) = ps.open_window(window);
+            ps.prepares.retain(|s, _| *s >= lo && *s < hi);
+            ps.commits.retain(|s, _| *s >= lo && *s < hi);
+        }
+        fx.extend(self.adopt_checkpoint(c));
+    }
+
+    fn adopt_checkpoint(&mut self, c: CheckpointCert) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if !c.supersedes(&self.checkpoint) {
+            return fx;
+        }
+        self.checkpoint = c.clone();
+        let base = c.data.base;
+        // Forget decided state below the checkpoint (finite memory!).
+        self.slots.retain(|s, _| *s >= base);
+        self.cp_shares.retain(|(b, _), _| *b > base);
+        // Drop request bookkeeping for requests decided below the base.
+        if self.exec_next < base {
+            // We lag behind the checkpoint: state transfer is out of scope
+            // (unimplemented in the paper's prototype too); fast-forward.
+            self.exec_next = base;
+        }
+        if self.next_slot < base {
+            self.next_slot = base;
+        }
+        fx.push(Effect::CheckpointAdopted { base });
+        // Announce the adoption on our own stream before proposing into the
+        // new window: peers validate PREPAREs against the checkpoint most
+        // recently seen *on our stream* (Algorithm 5), so a PREPARE emitted
+        // ahead of the CHECKPOINT would be branded out-of-window.
+        if base > self.cp_broadcast_base {
+            self.cp_broadcast_base = base;
+            self.emit_ctb(&mut fx, CtbMsg::Checkpoint(c));
+        }
+        let mut more = Vec::new();
+        self.propose_ready(&mut more);
+        fx.extend(more);
+        fx
+    }
+
+    // ------------------------------------------------------------------
+    // Summaries (Algorithm 4)
+    // ------------------------------------------------------------------
+
+    /// A `CERTIFY_SUMMARY` share about our own stream arrived.
+    pub fn on_certify_summary(
+        &mut self,
+        from: ReplicaId,
+        stream: ReplicaId,
+        upto: SeqId,
+        digest: Digest,
+        sig: ubft_crypto::Signature,
+    ) -> Vec<Effect> {
+        if stream != self.me || upto.0 <= self.summary_done_upto {
+            return Vec::new();
+        }
+        if from != self.me && !self.verify(from, &summary_sign_bytes(stream, upto, &digest), &sig)
+        {
+            return Vec::new();
+        }
+        self.accept_summary_share(from, upto, digest, sig)
+    }
+
+    fn accept_summary_share(
+        &mut self,
+        from: ReplicaId,
+        upto: SeqId,
+        digest: Digest,
+        sig: ubft_crypto::Signature,
+    ) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let quorum = self.quorum();
+        let per_digest = self.summary_shares.entry(upto.0).or_default();
+        let cert = per_digest.entry(digest).or_insert_with(Certificate::new);
+        cert.add(ProcessId::Replica(from), sig);
+        if cert.count() >= quorum && upto.0 > self.summary_done_upto {
+            let cert = cert.clone();
+            self.summary_done_upto = upto.0;
+            self.summary_shares.retain(|k, _| *k > upto.0);
+            let summary = self.state.get(&self.me).expect("self").summary();
+            fx.push(Effect::TbBroadcast(TbMsg::Summary { upto, summary, cert }));
+            self.flush_ctb_queue(&mut fx);
+        }
+        fx
+    }
+
+    fn handle_summary(
+        &mut self,
+        from: ReplicaId,
+        upto: SeqId,
+        summary: StateSummary,
+        cert: Certificate,
+    ) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let digest = summary.digest();
+        if !self.verify_cert(&cert, &summary_sign_bytes(from, upto, &digest), self.quorum()) {
+            return fx;
+        }
+        let ps = self.state.get_mut(&from).expect("known");
+        if ps.fifo_next > upto {
+            return fx; // no gap to fill
+        }
+        // Fill the gap: adopt the certified state and resume FIFO
+        // interpretation after `upto` (Algorithm 4 lines 11–15).
+        ps.apply_summary(&summary);
+        ps.fifo_next = upto.next();
+        ps.pending.retain(|k, _| *k > upto);
+        let cp = ps.checkpoint.clone();
+        fx.extend(self.adopt_checkpoint(cp));
+        self.drain_pending(from, &mut fx);
+        fx
+    }
+
+    // ------------------------------------------------------------------
+    // View change (Algorithm 3)
+    // ------------------------------------------------------------------
+
+    /// The progress watchdog fired.
+    pub fn on_progress_timeout(&mut self) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let stuck = self.has_pending_work() && self.decide_count == self.armed_marker;
+        if stuck {
+            fx.extend(self.change_view());
+        }
+        self.armed_marker = self.decide_count;
+        fx.push(Effect::ArmTimer { kind: TimerKind::Progress });
+        fx
+    }
+
+    fn has_pending_work(&self) -> bool {
+        !self.outstanding.is_empty()
+            || !self.propose_queue.is_empty()
+            || self
+                .slots
+                .values()
+                .any(|s| s.prepare.is_some() && s.decided.is_none())
+    }
+
+    /// Multiplier for the progress-watchdog period: doubles with every
+    /// fruitless view change so slow (signature-bound) view changes get time
+    /// to finish before the next one starts, as in PBFT.
+    pub fn progress_backoff(&self) -> u32 {
+        1 << self.vc_streak.min(6)
+    }
+
+    fn change_view(&mut self) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if self.sealing.is_some() {
+            return fx;
+        }
+        self.vc_streak = self.vc_streak.saturating_add(1);
+        let next = self.view.next();
+        self.sealing = Some(next);
+        // Algorithm 3 lines 4–5: discharge WILL_COMMIT promises by running
+        // the slow path for those slots before sealing.
+        let promised: Vec<Slot> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.promised_in == Some(self.view) && !s.sent_commit)
+            .map(|(slot, _)| *slot)
+            .collect();
+        for slot in &promised {
+            fx.extend(self.start_slow_path(*slot));
+        }
+        fx.extend(self.check_seal_ready());
+        fx
+    }
+
+    fn check_seal_ready(&mut self) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let Some(next) = self.sealing else { return fx };
+        let outstanding = self
+            .slots
+            .values()
+            .any(|s| s.promised_in == Some(self.view) && !s.sent_commit);
+        if outstanding {
+            return fx;
+        }
+        // Seal: enter the next view.
+        self.view = next;
+        self.sealing = None;
+        fx.push(Effect::ViewChanged { view: self.view });
+        if self.seal_emitted < next {
+            self.seal_emitted = next;
+            self.emit_ctb(&mut fx, CtbMsg::SealView { view: next });
+        }
+        self.reecho_outstanding(&mut fx);
+        // Reset per-slot fast-path state for the new view.
+        for s in self.slots.values_mut() {
+            if s.decided.is_none() {
+                s.will_certify.clear();
+                s.will_commit.clear();
+                s.sent_will_certify = false;
+                s.sent_will_commit = false;
+                s.sent_certify = false;
+                s.sent_commit = false;
+                s.cert = Certificate::new();
+                s.commit_from.clear();
+                s.prepare = None;
+            }
+        }
+        fx
+    }
+
+    fn handle_seal_view(&mut self, stream: ReplicaId, view: View, fx: &mut Vec<Effect>) {
+        {
+            let ps = self.state.get_mut(&stream).expect("known");
+            ps.seal_view = Some(view);
+            ps.view = view;
+            ps.new_view = None;
+        }
+        // Line 11: certify the sealer's state to the new leader.
+        let summary = self.state.get(&stream).expect("known").summary();
+        let digest = summary.digest();
+        let sig = self.sign(&vc_sign_bytes(view, stream, &digest));
+        let leader = view.leader(self.n());
+        if leader == self.me {
+            fx.extend(self.on_certify_vc(self.me, view, stream, summary, sig));
+        } else {
+            fx.push(Effect::SendReplica {
+                to: leader,
+                msg: DirectMsg::CertifyVc { view, about: stream, summary, sig },
+            });
+        }
+        // Follow the majority into the new view: if we observe a quorum of
+        // seals for views above ours, join them.
+        let seals = self
+            .state
+            .values()
+            .filter(|ps| ps.seal_view.is_some_and(|v| v > self.view))
+            .count();
+        if seals >= self.quorum() && self.sealing.is_none() && view > self.view {
+            fx.extend(self.change_view());
+        }
+    }
+
+    /// A `CRTFY_VC` share arrived (we are, or will be, the leader of `view`).
+    pub fn on_certify_vc(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        about: ReplicaId,
+        summary: StateSummary,
+        sig: ubft_crypto::Signature,
+    ) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if view.leader(self.n()) != self.me || view < self.view {
+            return fx;
+        }
+        let digest = summary.digest();
+        if from != self.me && !self.verify(from, &vc_sign_bytes(view, about, &digest), &sig) {
+            return fx;
+        }
+        // Shares for views we can no longer lead are dead weight.
+        self.vc_shares.retain(|(v, _), _| *v >= self.view);
+        let per_digest = self.vc_shares.entry((view, about)).or_default();
+        let (_, cert) = per_digest
+            .entry(digest)
+            .or_insert_with(|| (summary, Certificate::new()));
+        cert.add(ProcessId::Replica(from), sig);
+        // Line 13: f+1 matching shares about f+1 distinct replicas, all
+        // signed for exactly this view.
+        let quorum = self.quorum();
+        let complete: Vec<VcCert> = self
+            .vc_shares
+            .iter()
+            .filter(|((v, _), _)| *v == view)
+            .filter_map(|((_, about), per_digest)| {
+                per_digest.values().find(|(_, c)| c.count() >= quorum).map(|(s, c)| VcCert {
+                    about: *about,
+                    summary: s.clone(),
+                    cert: c.clone(),
+                })
+            })
+            .collect();
+        if complete.len() >= quorum && self.new_view_broadcast != Some(view) && view >= self.view
+        {
+            fx.extend(self.enter_view_as_leader(view, complete));
+        }
+        fx
+    }
+
+    fn enter_view_as_leader(&mut self, view: View, certs: Vec<VcCert>) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let entered = self.view == view;
+        self.view = view;
+        self.sealing = None;
+        self.new_view_broadcast = Some(view);
+        if !entered {
+            fx.push(Effect::ViewChanged { view });
+        }
+        for c in &certs {
+            let bytes = vc_sign_bytes(view, c.about, &c.summary.digest());
+            self.note_own_cert(&c.cert, &bytes);
+        }
+        // A leader may reach this point on collected certificates alone,
+        // without having sealed the view itself (its own watchdog never
+        // fired). Peers accept a NEW_VIEW only after our stream carried the
+        // matching seal, so announce it first.
+        if self.seal_emitted < view {
+            self.seal_emitted = view;
+            self.emit_ctb(&mut fx, CtbMsg::SealView { view });
+        }
+        self.emit_ctb(&mut fx, CtbMsg::NewView { view, certs: certs.clone() });
+        // Line 16: adopt the highest checkpoint in the certificates.
+        let highest = certs
+            .iter()
+            .filter_map(|c| c.summary.checkpoint.clone())
+            .max_by_key(|cp| cp.data.base);
+        if let Some(cp) = highest {
+            fx.extend(self.adopt_checkpoint(cp));
+        }
+        // Lines 17–19: re-propose constrained slots across the open window,
+        // up to the highest slot any certificate committed.
+        let base = self.checkpoint.data.base;
+        let max_committed = certs
+            .iter()
+            .flat_map(|c| c.summary.commits.iter().map(|(s, _)| *s))
+            .max();
+        self.vc_shares.clear();
+        if let Some(hi) = max_committed {
+            for s in base.0..=hi.0 {
+                let slot = Slot(s);
+                if self.slots.get(&slot).is_some_and(|st| st.decided.is_some()) {
+                    continue;
+                }
+                let req = must_propose(slot, &certs).unwrap_or_else(|| Request::noop(slot));
+                self.emit_ctb(&mut fx, CtbMsg::Prepare(Prepare { view, slot, req }));
+                if self.next_slot <= slot {
+                    self.next_slot = slot.next();
+                }
+            }
+        }
+        if self.next_slot < base {
+            self.next_slot = base;
+        }
+        // Never propose into slots already occupied locally.
+        let occupied = self
+            .slots
+            .iter()
+            .filter(|(_, st)| st.prepare.is_some() || st.decided.is_some())
+            .map(|(s, _)| *s)
+            .max();
+        if let Some(hi) = occupied {
+            if self.next_slot <= hi {
+                self.next_slot = hi.next();
+            }
+        }
+        // Adopt responsibility for every request still outstanding.
+        let pending: Vec<Request> = self.outstanding.values().cloned().collect();
+        for req in pending {
+            if !self.proposed.contains(&req.id) {
+                self.proposed.insert(req.id);
+                self.propose_queue.push_back(req);
+            }
+        }
+        self.propose_ready(&mut fx);
+        fx
+    }
+
+    fn reecho_outstanding(&mut self, fx: &mut Vec<Effect>) {
+        if self.is_leader() {
+            let pending: Vec<Request> = self.outstanding.values().cloned().collect();
+            for req in pending {
+                if !self.proposed.contains(&req.id) {
+                    self.proposed.insert(req.id);
+                    self.propose_queue.push_back(req);
+                }
+            }
+            let mut more = Vec::new();
+            self.propose_ready(&mut more);
+            fx.extend(more);
+        } else {
+            let leader = self.leader();
+            for req in self.outstanding.values() {
+                fx.push(Effect::SendReplica {
+                    to: leader,
+                    msg: DirectMsg::Echo { req: req.clone() },
+                });
+            }
+        }
+    }
+
+    fn handle_new_view(
+        &mut self,
+        stream: ReplicaId,
+        view: View,
+        certs: Vec<VcCert>,
+        fx: &mut Vec<Effect>,
+    ) {
+        {
+            let ps = self.state.get_mut(&stream).expect("known");
+            ps.new_view = Some(certs.clone());
+        }
+        // Line 23: catch up to the new view.
+        if self.view < view {
+            self.view = view;
+            self.sealing = None;
+            fx.push(Effect::ViewChanged { view });
+            for s in self.slots.values_mut() {
+                if s.decided.is_none() {
+                    s.will_certify.clear();
+                    s.will_commit.clear();
+                    s.sent_will_certify = false;
+                    s.sent_will_commit = false;
+                    s.sent_certify = false;
+                    s.sent_commit = false;
+                    s.cert = Certificate::new();
+                    s.commit_from.clear();
+                    s.prepare = None;
+                }
+            }
+        }
+        let highest = certs
+            .iter()
+            .filter_map(|c| c.summary.checkpoint.clone())
+            .max_by_key(|cp| cp.data.base);
+        if let Some(cp) = highest {
+            fx.extend(self.adopt_checkpoint(cp));
+        }
+        self.reecho_outstanding(fx);
+    }
+
+    /// A timer armed via [`Effect::ArmTimer`] fired.
+    pub fn on_timer(&mut self, kind: TimerKind) -> Vec<Effect> {
+        match kind {
+            TimerKind::Progress => self.on_progress_timeout(),
+            TimerKind::SlotSlowTrigger(slot) => self.on_slot_slow_trigger(slot),
+            TimerKind::EchoFallback(id) => self.on_echo_timeout(id),
+        }
+    }
+
+    /// A direct message arrived.
+    pub fn on_direct(&mut self, from: ReplicaId, msg: DirectMsg) -> Vec<Effect> {
+        if self.byzantine.contains(&from) {
+            return Vec::new();
+        }
+        match msg {
+            DirectMsg::Echo { req } => self.on_echo(from, req),
+            DirectMsg::CertifyVc { view, about, summary, sig } => {
+                self.on_certify_vc(from, view, about, summary, sig)
+            }
+            DirectMsg::CertifySummary { stream, upto, digest, sig } => {
+                self.on_certify_summary(from, stream, upto, digest, sig)
+            }
+        }
+    }
+
+    /// Initialization effects: the progress watchdog.
+    pub fn start(&mut self) -> Vec<Effect> {
+        self.armed_marker = self.decide_count;
+        vec![Effect::ArmTimer { kind: TimerKind::Progress }]
+    }
+}
+
+impl Prepare {
+    /// Content equality via digest (cheap comparison used in hot paths).
+    pub fn digest_eq(&self, other: &Prepare) -> bool {
+        self == other
+    }
+}
+
+/// Algorithm 3 lines 25–27: the request the new leader is forced to propose
+/// for `slot`, if any certificate carries a COMMIT for it (highest view
+/// wins).
+pub fn must_propose(slot: Slot, certs: &[VcCert]) -> Option<Request> {
+    certs
+        .iter()
+        .filter_map(|c| {
+            c.summary
+                .commits
+                .iter()
+                .find(|(s, _)| *s == slot)
+                .map(|(_, commit)| commit)
+        })
+        .max_by_key(|commit| commit.prepare.view)
+        .map(|commit| commit.prepare.req.clone())
+}

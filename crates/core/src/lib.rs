@@ -1,0 +1,36 @@
+//! The uBFT state-machine-replication engine (§5, Appendix B).
+//!
+//! A PBFT-shaped, leader-based consensus protocol re-engineered for
+//! `2f + 1` replicas, finite memory, and microsecond latency:
+//!
+//! * **Common case, fast path** (Figure 4): `PREPARE` via CTBcast's fast
+//!   path, then signature-less `WILL_CERTIFY` / `WILL_COMMIT` rounds of
+//!   TBcast; decides after two unanimous rounds.
+//! * **Common case, slow path** (Figure 3): `PREPARE` via CTBcast, signed
+//!   `CERTIFY` shares aggregated into an unforgeable certificate, and a
+//!   `COMMIT` round via CTBcast; decides on `f + 1` matching COMMITs.
+//! * **Checkpoints** bound memory: a sliding window of open slots advances
+//!   only via `f + 1`-signed application checkpoints.
+//! * **CTBcast summaries** (Algorithm 4) restore FIFO interpretation across
+//!   the delivery gaps that tail-validity permits, and gate a broadcaster
+//!   every `t/2` messages (double buffering) — the mechanism behind the
+//!   paper's Figure 11 thrashing result.
+//! * **View change** (Algorithm 3) with `SEAL_VIEW` / `CRTFY_VC` /
+//!   `NEW_VIEW` preserves applied requests across leader changes.
+//! * **Byzantine checks** (Algorithm 5) validate every CTBcast message
+//!   in FIFO order; a detectably Byzantine stream is blocked forever.
+//!
+//! The [`engine::Engine`] is a sans-IO state machine: the runtime feeds it
+//! deliveries/timers and executes its [`engine::Effect`]s. Crypto runs
+//! inline but is *metered* ([`engine::CryptoOps`]) so the runtime charges
+//! virtual time for every signature and verification.
+
+pub mod app;
+pub mod client;
+pub mod engine;
+pub mod msg;
+
+pub use app::App;
+pub use client::{Client, ClientEffect};
+pub use engine::{CryptoOps, Effect, Engine, EngineConfig, PathMode, TimerKind};
+pub use msg::{CheckpointCert, CommitCert, CtbMsg, DirectMsg, Prepare, Reply, Request, TbMsg};

@@ -1,0 +1,589 @@
+//! Protocol messages of the uBFT consensus engine.
+//!
+//! Three transports carry them:
+//! * [`CtbMsg`] — equivocation-protected, on the sender's CTBcast stream;
+//! * [`TbMsg`] — plain Tail Broadcast (no agreement needed);
+//! * [`DirectMsg`] — point-to-point.
+
+use ubft_crypto::{sha256, Certificate, Digest, Signature};
+use ubft_types::wire::{decode_seq, encode_seq, Wire, WireReader};
+use ubft_types::{ClientId, CodecError, ReplicaId, RequestId, SeqId, Slot, View};
+
+/// A client request as ordered by consensus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Unique id (client + client sequence number).
+    pub id: RequestId,
+    /// Opaque application payload.
+    pub payload: Vec<u8>,
+}
+
+impl Request {
+    /// The no-op request a new leader proposes for slots it must fill but
+    /// for which no request may have been applied.
+    pub fn noop(slot: Slot) -> Self {
+        Request { id: RequestId::new(ClientId(u32::MAX), slot.0), payload: Vec::new() }
+    }
+
+    /// Whether this is a view-change filler no-op.
+    pub fn is_noop(&self) -> bool {
+        self.id.client == ClientId(u32::MAX)
+    }
+
+    /// Content digest used in certificates and response matching.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+}
+
+impl Wire for Request {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.payload.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(Request { id: RequestId::decode(r)?, payload: Vec::<u8>::decode(r)? })
+    }
+}
+
+/// A reply from a replica to a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reply {
+    /// The request answered.
+    pub id: RequestId,
+    /// The answering replica.
+    pub replica: ReplicaId,
+    /// Application output.
+    pub payload: Vec<u8>,
+}
+
+impl Wire for Reply {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.replica.encode(buf);
+        self.payload.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(Reply {
+            id: RequestId::decode(r)?,
+            replica: ReplicaId::decode(r)?,
+            payload: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+/// A leader's proposal binding `req` to `slot` in `view`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Prepare {
+    /// Proposing view.
+    pub view: View,
+    /// Target consensus slot.
+    pub slot: Slot,
+    /// The proposed request.
+    pub req: Request,
+}
+
+impl Prepare {
+    /// The bytes replicas sign when certifying this proposal.
+    pub fn certify_bytes(&self) -> Vec<u8> {
+        let mut buf = b"ubft-certify\0".to_vec();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+impl Wire for Prepare {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.slot.encode(buf);
+        self.req.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(Prepare { view: View::decode(r)?, slot: Slot::decode(r)?, req: Request::decode(r)? })
+    }
+}
+
+/// An unforgeable proof that the leader proposed `prepare`: `f + 1`
+/// signatures over [`Prepare::certify_bytes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitCert {
+    /// The certified proposal.
+    pub prepare: Prepare,
+    /// `f + 1` signatures from distinct replicas.
+    pub cert: Certificate,
+}
+
+impl Wire for CommitCert {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.prepare.encode(buf);
+        self.cert.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(CommitCert { prepare: Prepare::decode(r)?, cert: Certificate::decode(r)? })
+    }
+}
+
+/// The content of an application checkpoint: every slot below `base` has
+/// been applied, yielding application state `app_digest`. Open slots are
+/// `[base, base + window)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointData {
+    /// First open (un-checkpointed) slot.
+    pub base: Slot,
+    /// Digest of the application state after applying slots `< base`.
+    pub app_digest: Digest,
+}
+
+impl CheckpointData {
+    /// Bytes signed in `CERTIFY_CHECKPOINT` shares.
+    pub fn sign_bytes(&self) -> Vec<u8> {
+        let mut buf = b"ubft-checkpoint\0".to_vec();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+impl Wire for CheckpointData {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.base.encode(buf);
+        self.app_digest.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(CheckpointData { base: Slot::decode(r)?, app_digest: Digest::decode(r)? })
+    }
+}
+
+/// An `f + 1`-signed application checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointCert {
+    /// What was checkpointed.
+    pub data: CheckpointData,
+    /// The signatures.
+    pub cert: Certificate,
+}
+
+impl CheckpointCert {
+    /// The genesis checkpoint: nothing applied, empty certificate (valid by
+    /// convention, Algorithm 2 line 6).
+    pub fn genesis() -> Self {
+        CheckpointCert {
+            data: CheckpointData { base: Slot(0), app_digest: Digest::ZERO },
+            cert: Certificate::new(),
+        }
+    }
+
+    /// Whether this checkpoint is strictly newer than `other`.
+    pub fn supersedes(&self, other: &CheckpointCert) -> bool {
+        self.data.base > other.data.base
+    }
+}
+
+impl Wire for CheckpointCert {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.data.encode(buf);
+        self.cert.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(CheckpointCert { data: CheckpointData::decode(r)?, cert: Certificate::decode(r)? })
+    }
+}
+
+/// A compact, signable snapshot of one replica's consensus-relevant state:
+/// its latest checkpoint and its most recent COMMIT per open slot. Used by
+/// `CRTFY_VC` (view change, Algorithm 3) and CTBcast summaries (Algorithm 4).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct StateSummary {
+    /// The replica's latest stable checkpoint.
+    pub checkpoint: Option<CheckpointCert>,
+    /// Most recent COMMIT certificate per open slot.
+    pub commits: Vec<(Slot, CommitCert)>,
+}
+
+impl StateSummary {
+    /// Content digest for matching certificate shares.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+}
+
+impl Wire for StateSummary {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.checkpoint.encode(buf);
+        encode_seq(
+            &self.commits.iter().map(|(s, c)| SlotCommit(*s, c.clone())).collect::<Vec<_>>(),
+            buf,
+        );
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let checkpoint = Option::<CheckpointCert>::decode(r)?;
+        let commits: Vec<SlotCommit> = decode_seq(r)?;
+        Ok(StateSummary { checkpoint, commits: commits.into_iter().map(|p| (p.0, p.1)).collect() })
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SlotCommit(Slot, CommitCert);
+
+impl Wire for SlotCommit {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(SlotCommit(Slot::decode(r)?, CommitCert::decode(r)?))
+    }
+}
+
+/// One view-change certificate: `f + 1` replicas attest that replica
+/// `about`'s sealed state is `summary`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VcCert {
+    /// Whose state was certified.
+    pub about: ReplicaId,
+    /// The certified state.
+    pub summary: StateSummary,
+    /// `f + 1` signatures over [`vc_sign_bytes`].
+    pub cert: Certificate,
+}
+
+impl Wire for VcCert {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.about.encode(buf);
+        self.summary.encode(buf);
+        self.cert.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(VcCert {
+            about: ReplicaId::decode(r)?,
+            summary: StateSummary::decode(r)?,
+            cert: Certificate::decode(r)?,
+        })
+    }
+}
+
+/// Bytes signed in a `CRTFY_VC` share about replica `about` in `view`.
+pub fn vc_sign_bytes(view: View, about: ReplicaId, summary_digest: &Digest) -> Vec<u8> {
+    let mut buf = b"ubft-crtfy-vc\0".to_vec();
+    view.encode(&mut buf);
+    about.encode(&mut buf);
+    summary_digest.encode(&mut buf);
+    buf
+}
+
+/// Bytes signed in a `CERTIFY_SUMMARY` share: stream `p` has broadcast up to
+/// `upto` and its state digest is `digest` (Algorithm 4 line 2).
+pub fn summary_sign_bytes(stream: ReplicaId, upto: SeqId, digest: &Digest) -> Vec<u8> {
+    let mut buf = b"ubft-summary\0".to_vec();
+    stream.encode(&mut buf);
+    upto.encode(&mut buf);
+    digest.encode(&mut buf);
+    buf
+}
+
+/// Messages carried on a replica's CTBcast stream (equivocation-protected).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtbMsg {
+    /// Leader proposal (Algorithm 2 line 16).
+    Prepare(Prepare),
+    /// Commit certificate broadcast (line 36).
+    Commit(CommitCert),
+    /// Stable checkpoint broadcast (line 61 / §5.2).
+    Checkpoint(CheckpointCert),
+    /// View seal (Algorithm 3 line 6).
+    SealView {
+        /// The view being *entered* (current + 1).
+        view: View,
+    },
+    /// New-view message from the incoming leader (Algorithm 3 line 15).
+    NewView {
+        /// The new view.
+        view: View,
+        /// Certificates about `f + 1` replicas' sealed states.
+        certs: Vec<VcCert>,
+    },
+}
+
+impl Wire for CtbMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CtbMsg::Prepare(p) => {
+                0u8.encode(buf);
+                p.encode(buf);
+            }
+            CtbMsg::Commit(c) => {
+                1u8.encode(buf);
+                c.encode(buf);
+            }
+            CtbMsg::Checkpoint(c) => {
+                2u8.encode(buf);
+                c.encode(buf);
+            }
+            CtbMsg::SealView { view } => {
+                3u8.encode(buf);
+                view.encode(buf);
+            }
+            CtbMsg::NewView { view, certs } => {
+                4u8.encode(buf);
+                view.encode(buf);
+                encode_seq(certs, buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(CtbMsg::Prepare(Prepare::decode(r)?)),
+            1 => Ok(CtbMsg::Commit(CommitCert::decode(r)?)),
+            2 => Ok(CtbMsg::Checkpoint(CheckpointCert::decode(r)?)),
+            3 => Ok(CtbMsg::SealView { view: View::decode(r)? }),
+            4 => Ok(CtbMsg::NewView { view: View::decode(r)?, certs: decode_seq(r)? }),
+            tag => Err(CodecError::BadTag { ty: "CtbMsg", tag }),
+        }
+    }
+}
+
+/// Messages carried on a replica's consensus Tail Broadcast stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TbMsg {
+    /// Fast path round 1 promise (Figure 4).
+    WillCertify {
+        /// Current view.
+        view: View,
+        /// The slot.
+        slot: Slot,
+    },
+    /// Fast path round 2 promise.
+    WillCommit {
+        /// Current view.
+        view: View,
+        /// The slot.
+        slot: Slot,
+    },
+    /// Slow path certification share: a signature over the PREPARE.
+    Certify {
+        /// The prepare being certified.
+        prepare: Prepare,
+        /// Signature over [`Prepare::certify_bytes`].
+        sig: Signature,
+    },
+    /// Checkpoint certification share.
+    CertifyCheckpoint {
+        /// The checkpoint content.
+        data: CheckpointData,
+        /// Signature over [`CheckpointData::sign_bytes`].
+        sig: Signature,
+    },
+    /// A completed CTBcast summary (Algorithm 4 line 8).
+    Summary {
+        /// The summarized stream (always the sender).
+        upto: SeqId,
+        /// The broadcaster's state at `upto`.
+        summary: StateSummary,
+        /// `f + 1` signatures over [`summary_sign_bytes`].
+        cert: Certificate,
+    },
+}
+
+impl Wire for TbMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            TbMsg::WillCertify { view, slot } => {
+                0u8.encode(buf);
+                view.encode(buf);
+                slot.encode(buf);
+            }
+            TbMsg::WillCommit { view, slot } => {
+                1u8.encode(buf);
+                view.encode(buf);
+                slot.encode(buf);
+            }
+            TbMsg::Certify { prepare, sig } => {
+                2u8.encode(buf);
+                prepare.encode(buf);
+                sig.encode(buf);
+            }
+            TbMsg::CertifyCheckpoint { data, sig } => {
+                3u8.encode(buf);
+                data.encode(buf);
+                sig.encode(buf);
+            }
+            TbMsg::Summary { upto, summary, cert } => {
+                4u8.encode(buf);
+                upto.encode(buf);
+                summary.encode(buf);
+                cert.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(TbMsg::WillCertify { view: View::decode(r)?, slot: Slot::decode(r)? }),
+            1 => Ok(TbMsg::WillCommit { view: View::decode(r)?, slot: Slot::decode(r)? }),
+            2 => Ok(TbMsg::Certify { prepare: Prepare::decode(r)?, sig: Signature::decode(r)? }),
+            3 => Ok(TbMsg::CertifyCheckpoint {
+                data: CheckpointData::decode(r)?,
+                sig: Signature::decode(r)?,
+            }),
+            4 => Ok(TbMsg::Summary {
+                upto: SeqId::decode(r)?,
+                summary: StateSummary::decode(r)?,
+                cert: Certificate::decode(r)?,
+            }),
+            tag => Err(CodecError::BadTag { ty: "TbMsg", tag }),
+        }
+    }
+}
+
+/// Point-to-point messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirectMsg {
+    /// A follower echoing a client request to the leader (§5.4 Echo Req).
+    Echo {
+        /// The echoed request.
+        req: Request,
+    },
+    /// A view-change certificate share sent to the incoming leader
+    /// (Algorithm 3 line 11).
+    CertifyVc {
+        /// The view being formed.
+        view: View,
+        /// Whose sealed state this share attests.
+        about: ReplicaId,
+        /// The attested state.
+        summary: StateSummary,
+        /// Signature over [`vc_sign_bytes`].
+        sig: Signature,
+    },
+    /// A summary certification share sent to the stream's broadcaster
+    /// (Algorithm 4 line 2).
+    CertifySummary {
+        /// The summarized stream.
+        stream: ReplicaId,
+        /// Messages up to this id are covered.
+        upto: SeqId,
+        /// Digest of the attested [`StateSummary`].
+        digest: Digest,
+        /// Signature over [`summary_sign_bytes`].
+        sig: Signature,
+    },
+}
+
+impl Wire for DirectMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            DirectMsg::Echo { req } => {
+                0u8.encode(buf);
+                req.encode(buf);
+            }
+            DirectMsg::CertifyVc { view, about, summary, sig } => {
+                1u8.encode(buf);
+                view.encode(buf);
+                about.encode(buf);
+                summary.encode(buf);
+                sig.encode(buf);
+            }
+            DirectMsg::CertifySummary { stream, upto, digest, sig } => {
+                2u8.encode(buf);
+                stream.encode(buf);
+                upto.encode(buf);
+                digest.encode(buf);
+                sig.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(DirectMsg::Echo { req: Request::decode(r)? }),
+            1 => Ok(DirectMsg::CertifyVc {
+                view: View::decode(r)?,
+                about: ReplicaId::decode(r)?,
+                summary: StateSummary::decode(r)?,
+                sig: Signature::decode(r)?,
+            }),
+            2 => Ok(DirectMsg::CertifySummary {
+                stream: ReplicaId::decode(r)?,
+                upto: SeqId::decode(r)?,
+                digest: Digest::decode(r)?,
+                sig: Signature::decode(r)?,
+            }),
+            tag => Err(CodecError::BadTag { ty: "DirectMsg", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubft_types::wire::roundtrip;
+
+    fn req() -> Request {
+        Request { id: RequestId::new(ClientId(1), 2), payload: vec![1, 2, 3] }
+    }
+
+    fn prepare() -> Prepare {
+        Prepare { view: View(1), slot: Slot(2), req: req() }
+    }
+
+    #[test]
+    fn noop_requests() {
+        let n = Request::noop(Slot(4));
+        assert!(n.is_noop());
+        assert!(!req().is_noop());
+        assert_ne!(Request::noop(Slot(4)).digest(), Request::noop(Slot(5)).digest());
+    }
+
+    #[test]
+    fn all_wire_roundtrips() {
+        roundtrip(&req());
+        roundtrip(&Reply { id: req().id, replica: ReplicaId(1), payload: b"out".to_vec() });
+        roundtrip(&prepare());
+        roundtrip(&CommitCert { prepare: prepare(), cert: Certificate::new() });
+        roundtrip(&CheckpointCert::genesis());
+        roundtrip(&StateSummary::default());
+        roundtrip(&StateSummary {
+            checkpoint: Some(CheckpointCert::genesis()),
+            commits: vec![(Slot(1), CommitCert { prepare: prepare(), cert: Certificate::new() })],
+        });
+        roundtrip(&CtbMsg::Prepare(prepare()));
+        roundtrip(&CtbMsg::SealView { view: View(3) });
+        roundtrip(&CtbMsg::NewView { view: View(3), certs: vec![] });
+        roundtrip(&TbMsg::WillCertify { view: View(0), slot: Slot(9) });
+        roundtrip(&TbMsg::WillCommit { view: View(0), slot: Slot(9) });
+        roundtrip(&TbMsg::Certify { prepare: prepare(), sig: Signature::garbage() });
+        roundtrip(&TbMsg::Summary {
+            upto: SeqId(64),
+            summary: StateSummary::default(),
+            cert: Certificate::new(),
+        });
+        roundtrip(&DirectMsg::Echo { req: req() });
+    }
+
+    #[test]
+    fn checkpoint_supersedes() {
+        let g = CheckpointCert::genesis();
+        let mut later = g.clone();
+        later.data.base = Slot(256);
+        assert!(later.supersedes(&g));
+        assert!(!g.supersedes(&later));
+        assert!(!g.supersedes(&g.clone()));
+    }
+
+    #[test]
+    fn sign_bytes_domain_separation() {
+        let p = prepare();
+        assert_ne!(p.certify_bytes(), p.to_bytes());
+        let cp = CheckpointData { base: Slot(1), app_digest: Digest::ZERO };
+        assert_ne!(cp.sign_bytes(), cp.to_bytes());
+        let d = Digest::ZERO;
+        assert_ne!(
+            vc_sign_bytes(View(1), ReplicaId(0), &d),
+            summary_sign_bytes(ReplicaId(0), SeqId(1), &d)
+        );
+    }
+
+    #[test]
+    fn summary_digest_changes_with_content() {
+        let a = StateSummary::default();
+        let b = StateSummary { checkpoint: Some(CheckpointCert::genesis()), commits: vec![] };
+        assert_ne!(a.digest(), b.digest());
+    }
+}

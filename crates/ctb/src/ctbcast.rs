@@ -1,0 +1,918 @@
+//! Consistent Tail Broadcast — Algorithm 1 as a sans-IO state machine.
+//!
+//! One [`Ctb`] instance is *one replica's view of one broadcaster's stream*:
+//! replica `me` participating in the stream whose designated broadcaster is
+//! `stream`. All `n` replicas (including the broadcaster) act as receivers.
+//!
+//! Signature verification and register access are asynchronous in the real
+//! system (thread pool, RDMA), so the slow path is staged: `SIGNED` arrives →
+//! verify → check/set lock → write own SWMR register slot → read everyone's
+//! slot → (verify any conflicting entries) → deliver. Each stage is resumed
+//! through an `on_*` input carrying the results the runtime collected.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ubft_crypto::{Digest, Signature};
+use ubft_types::wire::{Wire, WireReader};
+use ubft_types::{CodecError, ReplicaId, SeqId};
+
+use crate::wire::{fingerprint, CtbWire};
+
+/// When the broadcaster emits the slow-path `SIGNED` message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlowMode {
+    /// Sign and send immediately alongside the fast path (Algorithm 1's
+    /// pedagogical presentation).
+    Always,
+    /// Only after the runtime's fast-path timeout fires (the deployed
+    /// configuration, §4.2).
+    OnTimeout,
+    /// Never (fast-path-only experiments).
+    Never,
+}
+
+/// Static configuration of a CTBcast stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtbConfig {
+    /// Number of replicas participating as receivers (`2f + 1`).
+    pub n: usize,
+    /// The tail parameter `t`.
+    pub tail: usize,
+    /// Whether the signature-less fast path runs.
+    pub fast_enabled: bool,
+    /// Slow-path triggering policy.
+    pub slow: SlowMode,
+}
+
+impl CtbConfig {
+    /// The paper's deployed configuration for `n` replicas and tail `t`:
+    /// fast path on, slow path on timeout.
+    pub fn deployed(n: usize, tail: usize) -> Self {
+        CtbConfig { n, tail, fast_enabled: true, slow: SlowMode::OnTimeout }
+    }
+}
+
+/// What one receiver's SWMR register slot holds: the message id, its
+/// fingerprint, and the broadcaster's signature binding them (§7.6 stores
+/// id + fingerprint; the signature makes entries self-certifying so
+/// Byzantine *receivers* cannot poison delivery).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegEntry {
+    /// Message identifier (doubles as the register timestamp).
+    pub k: SeqId,
+    /// Fingerprint of the message body.
+    pub fp: Digest,
+    /// Broadcaster's signature over `(stream, k, fp)`.
+    pub sig: Signature,
+}
+
+impl Wire for RegEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.k.encode(buf);
+        self.fp.encode(buf);
+        self.sig.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(RegEntry {
+            k: SeqId::decode(r)?,
+            fp: Digest::decode(r)?,
+            sig: Signature::decode(r)?,
+        })
+    }
+}
+
+/// Correlates an asynchronous signature verification with the state machine
+/// stage that requested it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyTag {
+    /// Verifying a `SIGNED` message for id `k`.
+    Signed {
+        /// Message id.
+        k: SeqId,
+    },
+    /// Verifying a conflicting register entry owned by `owner`, found while
+    /// slow-delivering id `k`.
+    Entry {
+        /// The id being delivered.
+        k: SeqId,
+        /// The register's owner.
+        owner: ReplicaId,
+        /// What the entry conflicts on: same id with a different message
+        /// (equivocation, line 33) or a newer id aliasing the same slot
+        /// (out of tail, line 35).
+        kind: ConflictKind,
+    },
+}
+
+/// How a register entry conflicts with a pending slow-path delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Same `k`, different fingerprint: the broadcaster equivocated.
+    SameId,
+    /// Higher `k` on the same ring slot: our message fell out of the tail.
+    NewerId,
+}
+
+/// Effects emitted by [`Ctb`], to be executed by the runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtbEffect {
+    /// TBcast-broadcast this frame on the stream (the runtime routes it
+    /// through this replica's [`crate::TailBroadcaster`], whose self-delivery
+    /// feeds back into [`Ctb::on_tb_deliver`]).
+    Broadcast(CtbWire),
+    /// Request an asynchronous signature over
+    /// [`crate::wire::signed_bytes`]`(stream, k, fp)` (broadcaster only).
+    Sign {
+        /// Message id.
+        k: SeqId,
+        /// Message fingerprint.
+        fp: Digest,
+    },
+    /// Request an asynchronous verification of the stream broadcaster's
+    /// signature over `(stream, k, fp)`.
+    Verify {
+        /// Correlation tag.
+        tag: VerifyTag,
+        /// Claimed message id.
+        k: SeqId,
+        /// Claimed fingerprint.
+        fp: Digest,
+        /// The signature to check.
+        sig: Signature,
+    },
+    /// Write `entry` to this replica's own SWMR register slot for the
+    /// stream, using `k` as the register timestamp.
+    WriteRegister {
+        /// Ring slot (`k % t`).
+        slot: usize,
+        /// Message id / register timestamp.
+        k: SeqId,
+        /// The entry to store.
+        entry: RegEntry,
+    },
+    /// Read every receiver's register for `slot` (quorum-replicated read).
+    ReadSlot {
+        /// Ring slot.
+        slot: usize,
+        /// The id whose delivery is pending on this read.
+        k: SeqId,
+    },
+    /// CTBcast-deliver `(k, payload)` from this stream.
+    Deliver {
+        /// Message id.
+        k: SeqId,
+        /// Message body.
+        payload: Vec<u8>,
+    },
+    /// Proof was found that the broadcaster equivocated on `k`; the layer
+    /// above must stop interpreting this stream (Algorithm 2, line 1).
+    Equivocation {
+        /// The id with conflicting signed messages.
+        k: SeqId,
+    },
+    /// Ask the runtime to arm the fast-path timeout for `(k, m)`; if it
+    /// fires before delivery, feed [`Ctb::on_slow_timeout`] (broadcaster
+    /// only, [`SlowMode::OnTimeout`]).
+    ArmSlowTimer {
+        /// Message id.
+        k: SeqId,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct SlowPending {
+    k: SeqId,
+    fp: Digest,
+    sig: Signature,
+    stage: SlowStage,
+    outstanding: usize,
+    /// A same-id conflicting entry verified: the broadcaster equivocated.
+    equivocated: bool,
+    /// A newer-id entry verified: `k` fell out of the tail; drop silently.
+    out_of_tail: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlowStage {
+    VerifyingSig,
+    Writing,
+    Reading,
+    VerifyingEntries,
+}
+
+/// One replica's state machine for one CTBcast stream (Algorithm 1).
+#[derive(Clone, Debug)]
+pub struct Ctb {
+    me: ReplicaId,
+    stream: ReplicaId,
+    cfg: CtbConfig,
+    replicas: Vec<ReplicaId>,
+    /// Broadcaster only: next id to assign.
+    next_k: SeqId,
+    /// Broadcaster only: bodies of own recent broadcasts (for `SIGNED`
+    /// emission after async signing), pruned to the last `2t`.
+    my_broadcasts: HashMap<u64, Vec<u8>>,
+    /// Broadcaster only: ids for which a sign was already requested.
+    sign_requested: BTreeSet<u64>,
+    /// `locks` array (line 9): per ring slot, the `(k, fp)` this replica is
+    /// committed to.
+    locks: Vec<Option<(SeqId, Digest)>>,
+    /// `locked` array (line 10): per receiver, per ring slot.
+    locked: Vec<Vec<Option<(SeqId, Digest)>>>,
+    /// `delivered` array (line 8).
+    delivered: Vec<Option<SeqId>>,
+    /// Payload cache keyed by `(k, fp)`, pruned to the tail window.
+    payloads: HashMap<(u64, Digest), Vec<u8>>,
+    /// Highest id seen on the stream (drives cache pruning).
+    max_seen: SeqId,
+    /// In-flight slow-path deliveries, keyed by ring slot.
+    slow: HashMap<usize, SlowPending>,
+}
+
+impl Ctb {
+    /// Creates the state machine for replica `me` on `stream`'s CTBcast,
+    /// with receivers `replicas` (must have length `cfg.n` and contain both
+    /// `me` and `stream`).
+    pub fn new(me: ReplicaId, stream: ReplicaId, replicas: Vec<ReplicaId>, cfg: CtbConfig) -> Self {
+        assert_eq!(replicas.len(), cfg.n);
+        assert!(replicas.contains(&me) && replicas.contains(&stream));
+        assert!(cfg.tail >= 2);
+        Ctb {
+            me,
+            stream,
+            cfg,
+            replicas,
+            next_k: SeqId(1),
+            my_broadcasts: HashMap::new(),
+            sign_requested: BTreeSet::new(),
+            locks: vec![None; cfg.tail],
+            locked: vec![vec![None; cfg.tail]; cfg.n],
+            delivered: vec![None; cfg.tail],
+            payloads: HashMap::new(),
+            max_seen: SeqId(0),
+            slow: HashMap::new(),
+        }
+    }
+
+    /// The stream's designated broadcaster.
+    pub fn stream(&self) -> ReplicaId {
+        self.stream
+    }
+
+    /// The id the next [`Ctb::broadcast`] will use.
+    pub fn next_seq(&self) -> SeqId {
+        self.next_k
+    }
+
+    /// Highest id this replica has delivered on any slot (diagnostics).
+    pub fn max_delivered(&self) -> SeqId {
+        self.delivered.iter().flatten().copied().max().unwrap_or(SeqId(0))
+    }
+
+    fn index_of(&self, r: ReplicaId) -> Option<usize> {
+        self.replicas.iter().position(|x| *x == r)
+    }
+
+    fn slot(&self, k: SeqId) -> usize {
+        k.ring_index(self.cfg.tail)
+    }
+
+    fn cache_payload(&mut self, k: SeqId, fp: Digest, m: &[u8]) {
+        if k > self.max_seen {
+            self.max_seen = k;
+            let floor = self.max_seen.0.saturating_sub(2 * self.cfg.tail as u64);
+            self.payloads.retain(|(pk, _), _| *pk > floor);
+            self.my_broadcasts.retain(|pk, _| *pk > floor);
+            self.sign_requested.retain(|pk| *pk > floor);
+        }
+        self.payloads.entry((k.0, fp)).or_insert_with(|| m.to_vec());
+    }
+
+    /// Broadcasts `m` on this stream (Algorithm 1, lines 2–4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not the stream's broadcaster.
+    pub fn broadcast(&mut self, m: Vec<u8>) -> (SeqId, Vec<CtbEffect>) {
+        assert_eq!(self.me, self.stream, "only the broadcaster may broadcast");
+        let k = self.next_k;
+        self.next_k = self.next_k.next();
+        let fp = fingerprint(&m);
+        self.cache_payload(k, fp, &m);
+        self.my_broadcasts.insert(k.0, m.clone());
+        let mut fx = Vec::new();
+        if self.cfg.fast_enabled {
+            fx.push(CtbEffect::Broadcast(CtbWire::Lock { k, m }));
+        }
+        match self.cfg.slow {
+            SlowMode::Always => {
+                self.sign_requested.insert(k.0);
+                fx.push(CtbEffect::Sign { k, fp });
+            }
+            SlowMode::OnTimeout => fx.push(CtbEffect::ArmSlowTimer { k }),
+            SlowMode::Never => {}
+        }
+        (k, fx)
+    }
+
+    /// The runtime's fast-path timeout for `k` fired without delivery:
+    /// trigger the slow path (broadcaster only).
+    pub fn on_slow_timeout(&mut self, k: SeqId) -> Vec<CtbEffect> {
+        if self.me != self.stream || self.sign_requested.contains(&k.0) {
+            return Vec::new();
+        }
+        let slot = self.slot(k);
+        if self.delivered[slot].is_some_and(|d| d >= k) {
+            return Vec::new(); // fast path already delivered
+        }
+        let Some(m) = self.my_broadcasts.get(&k.0) else {
+            return Vec::new(); // out of tail already
+        };
+        let fp = fingerprint(m);
+        self.sign_requested.insert(k.0);
+        vec![CtbEffect::Sign { k, fp }]
+    }
+
+    /// The crypto pool finished signing `(stream, k, fp)`.
+    pub fn on_sign_done(&mut self, k: SeqId, sig: Signature) -> Vec<CtbEffect> {
+        let Some(m) = self.my_broadcasts.get(&k.0).cloned() else {
+            return Vec::new();
+        };
+        vec![CtbEffect::Broadcast(CtbWire::Signed { k, m, sig })]
+    }
+
+    /// A TBcast frame of this stream was delivered from `from` (which the
+    /// authenticated transport guarantees is the true sender).
+    pub fn on_tb_deliver(&mut self, from: ReplicaId, wire: CtbWire) -> Vec<CtbEffect> {
+        match wire {
+            CtbWire::Lock { k, m } => self.on_lock(from, k, m),
+            CtbWire::Locked { k, m } => self.on_locked(from, k, m),
+            CtbWire::Signed { k, m, sig } => self.on_signed(from, k, m, sig),
+        }
+    }
+
+    /// Lines 12–16.
+    fn on_lock(&mut self, from: ReplicaId, k: SeqId, m: Vec<u8>) -> Vec<CtbEffect> {
+        if from != self.stream {
+            return Vec::new(); // only the broadcaster locks
+        }
+        let fp = fingerprint(&m);
+        self.cache_payload(k, fp, &m);
+        let slot = self.slot(k);
+        let newer = self.locks[slot].map_or(true, |(k2, _)| k > k2);
+        let mut fx = Vec::new();
+        if newer {
+            self.locks[slot] = Some((k, fp));
+            if self.cfg.fast_enabled {
+                fx.push(CtbEffect::Broadcast(CtbWire::Locked { k, m }));
+            }
+        }
+        fx
+    }
+
+    /// Lines 18–23.
+    fn on_locked(&mut self, from: ReplicaId, k: SeqId, m: Vec<u8>) -> Vec<CtbEffect> {
+        let Some(q) = self.index_of(from) else {
+            return Vec::new();
+        };
+        let fp = fingerprint(&m);
+        self.cache_payload(k, fp, &m);
+        let slot = self.slot(k);
+        let newer = self.locked[q][slot].map_or(true, |(k2, _)| k > k2);
+        if !newer {
+            return Vec::new();
+        }
+        self.locked[q][slot] = Some((k, fp));
+        // Line 22: unanimity across all n receivers.
+        let unanimous = self
+            .locked
+            .iter()
+            .all(|row| row[slot] == Some((k, fp)));
+        if unanimous {
+            self.deliver_once(k, fp)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Lines 25–26: stage the signed message for async verification.
+    fn on_signed(&mut self, from: ReplicaId, k: SeqId, m: Vec<u8>, sig: Signature) -> Vec<CtbEffect> {
+        if from != self.stream {
+            return Vec::new();
+        }
+        let fp = fingerprint(&m);
+        self.cache_payload(k, fp, &m);
+        let slot = self.slot(k);
+        if let Some(p) = self.slow.get(&slot) {
+            if p.k >= k {
+                return Vec::new(); // duplicate or superseded
+            }
+        }
+        if self.delivered[slot].is_some_and(|d| d >= k) {
+            return Vec::new(); // already delivered (fast path)
+        }
+        self.slow.insert(
+            slot,
+            SlowPending {
+                k,
+                fp,
+                sig,
+                stage: SlowStage::VerifyingSig,
+                outstanding: 0,
+                equivocated: false,
+                out_of_tail: false,
+            },
+        );
+        vec![CtbEffect::Verify { tag: VerifyTag::Signed { k }, k, fp, sig }]
+    }
+
+    /// A verification requested by this machine completed.
+    pub fn on_verify_done(&mut self, tag: VerifyTag, ok: bool) -> Vec<CtbEffect> {
+        match tag {
+            VerifyTag::Signed { k } => self.on_signed_verified(k, ok),
+            VerifyTag::Entry { k, owner, kind } => self.on_entry_verified(k, owner, kind, ok),
+        }
+    }
+
+    /// Lines 27–30 (after the line-26 signature check).
+    fn on_signed_verified(&mut self, k: SeqId, ok: bool) -> Vec<CtbEffect> {
+        let slot = self.slot(k);
+        let Some(p) = self.slow.get_mut(&slot) else {
+            return Vec::new();
+        };
+        if p.k != k || p.stage != SlowStage::VerifyingSig {
+            return Vec::new();
+        }
+        if !ok {
+            self.slow.remove(&slot);
+            return Vec::new();
+        }
+        let fp = p.fp;
+        let sig = p.sig;
+        // Line 28: proceed iff k is newer than our lock, or equals it with
+        // the same message.
+        let proceed = match self.locks[slot] {
+            None => true,
+            Some((k2, fp2)) => k > k2 || (k == k2 && fp == fp2),
+        };
+        if !proceed {
+            self.slow.remove(&slot);
+            return Vec::new();
+        }
+        self.locks[slot] = Some((k, fp));
+        let p = self.slow.get_mut(&slot).expect("just checked");
+        p.stage = SlowStage::Writing;
+        vec![CtbEffect::WriteRegister { slot, k, entry: RegEntry { k, fp, sig } }]
+    }
+
+    /// The register write for `k` completed at a quorum of memory nodes.
+    pub fn on_register_written(&mut self, k: SeqId) -> Vec<CtbEffect> {
+        let slot = self.slot(k);
+        let Some(p) = self.slow.get_mut(&slot) else {
+            return Vec::new();
+        };
+        if p.k != k || p.stage != SlowStage::Writing {
+            return Vec::new();
+        }
+        p.stage = SlowStage::Reading;
+        vec![CtbEffect::ReadSlot { slot, k }]
+    }
+
+    /// Lines 31–37: the quorum read of everyone's register slot returned.
+    /// `entries[i]` is receiver `replicas[i]`'s register content (`None` when
+    /// never written or detectably invalid).
+    pub fn on_registers_read(
+        &mut self,
+        k: SeqId,
+        entries: Vec<Option<RegEntry>>,
+    ) -> Vec<CtbEffect> {
+        let slot = self.slot(k);
+        let Some(p) = self.slow.get_mut(&slot) else {
+            return Vec::new();
+        };
+        if p.k != k || p.stage != SlowStage::Reading {
+            return Vec::new();
+        }
+        let fp = p.fp;
+        let sig = p.sig;
+        let mut suspects: Vec<(ReplicaId, RegEntry, ConflictKind)> = Vec::new();
+        for (i, entry) in entries.into_iter().enumerate() {
+            let Some(e) = entry else { continue };
+            let owner = self.replicas[i];
+            if e.k == k && e.fp == fp && e.sig == sig {
+                continue; // our own message, already verified
+            }
+            if e.k == k && e.fp != fp {
+                suspects.push((owner, e, ConflictKind::SameId)); // line 33
+            } else if e.k > k && e.k.ring_index(self.cfg.tail) == self.slot(k) {
+                suspects.push((owner, e, ConflictKind::NewerId)); // line 35
+            }
+            // e.k < k: stale entry, ignore.
+        }
+        if suspects.is_empty() {
+            self.slow.remove(&slot);
+            return self.deliver_once(k, fp);
+        }
+        let p = self.slow.get_mut(&slot).expect("present");
+        p.stage = SlowStage::VerifyingEntries;
+        p.outstanding = suspects.len();
+        // A forged entry (bad signature) must not block delivery: verify
+        // each suspect before honouring it.
+        suspects
+            .into_iter()
+            .map(|(owner, e, kind)| CtbEffect::Verify {
+                tag: VerifyTag::Entry { k, owner, kind },
+                k: e.k,
+                fp: e.fp,
+                sig: e.sig,
+            })
+            .collect()
+    }
+
+    fn on_entry_verified(
+        &mut self,
+        k: SeqId,
+        _owner: ReplicaId,
+        kind: ConflictKind,
+        ok: bool,
+    ) -> Vec<CtbEffect> {
+        let slot = self.slot(k);
+        let Some(p) = self.slow.get_mut(&slot) else {
+            return Vec::new();
+        };
+        if p.k != k || p.stage != SlowStage::VerifyingEntries {
+            return Vec::new();
+        }
+        p.outstanding -= 1;
+        if ok {
+            // The entry is genuinely signed by the broadcaster. A same-id
+            // conflict proves equivocation (line 33: abort and report); a
+            // newer id on the same ring slot only means our message fell out
+            // of the tail (line 35: drop silently — an honest broadcaster
+            // does this under load, so it must NOT be branded Byzantine).
+            match kind {
+                ConflictKind::SameId => p.equivocated = true,
+                ConflictKind::NewerId => p.out_of_tail = true,
+            }
+        }
+        if p.outstanding == 0 {
+            let (equivocated, out_of_tail, fp) = (p.equivocated, p.out_of_tail, p.fp);
+            self.slow.remove(&slot);
+            if equivocated {
+                // Deliver nothing; report proven equivocation for the
+                // consensus layer's Byzantine bookkeeping.
+                return vec![CtbEffect::Equivocation { k }];
+            }
+            if out_of_tail {
+                return Vec::new(); // skip delivery; a summary fills the gap
+            }
+            return self.deliver_once(k, fp);
+        }
+        Vec::new()
+    }
+
+    /// Lines 39–42.
+    fn deliver_once(&mut self, k: SeqId, fp: Digest) -> Vec<CtbEffect> {
+        let slot = self.slot(k);
+        if self.delivered[slot].is_some_and(|d| d >= k) {
+            return Vec::new();
+        }
+        let Some(payload) = self.payloads.get(&(k.0, fp)).cloned() else {
+            // Payload unknown (should not happen: every path caches it).
+            return Vec::new();
+        };
+        self.delivered[slot] = Some(k);
+        vec![CtbEffect::Deliver { k, payload }]
+    }
+
+    /// Approximate resident memory of this state machine in bytes
+    /// (Table 2 accounting): the bookkeeping arrays are O(n·t) and the
+    /// payload cache is bounded by `2t` messages.
+    pub fn resident_bytes(&self) -> usize {
+        let lock_entry = core::mem::size_of::<Option<(SeqId, Digest)>>();
+        self.locks.len() * lock_entry
+            + self.locked.len() * self.cfg.tail * lock_entry
+            + self.delivered.len() * core::mem::size_of::<Option<SeqId>>()
+            + self.payloads.values().map(|p| p.len() + 48).sum::<usize>()
+            + self.my_broadcasts.values().map(|p| p.len() + 16).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::signed_bytes;
+    use ubft_crypto::KeyRing;
+    use ubft_types::ProcessId;
+
+    const N: usize = 3;
+    const T: usize = 4;
+
+    fn rid(i: u32) -> ReplicaId {
+        ReplicaId(i)
+    }
+
+    fn ring() -> KeyRing {
+        KeyRing::generate(99, (0..N as u32).map(|i| ProcessId::Replica(rid(i))))
+    }
+
+    /// A tiny synchronous harness: perfect TBcast, synchronous crypto, and
+    /// in-memory registers, driving n Ctb instances to quiescence.
+    struct Harness {
+        ctbs: Vec<Ctb>,
+        ring: KeyRing,
+        stream: ReplicaId,
+        /// registers[receiver][slot]
+        registers: Vec<Vec<Option<RegEntry>>>,
+        delivered: Vec<Vec<(SeqId, Vec<u8>)>>,
+        equivocations: Vec<Vec<SeqId>>,
+    }
+
+    impl Harness {
+        fn new(cfg: CtbConfig) -> Self {
+            let replicas: Vec<ReplicaId> = (0..N as u32).map(rid).collect();
+            let stream = rid(0);
+            let ctbs = replicas
+                .iter()
+                .map(|&me| Ctb::new(me, stream, replicas.clone(), cfg))
+                .collect();
+            Harness {
+                ctbs,
+                ring: ring(),
+                stream,
+                registers: vec![vec![None; T]; N],
+                delivered: vec![Vec::new(); N],
+                equivocations: vec![Vec::new(); N],
+            }
+        }
+
+        fn run(&mut self, start: Vec<(usize, CtbEffect)>) {
+            let mut queue: std::collections::VecDeque<(usize, CtbEffect)> = start.into();
+            let mut steps = 0;
+            while let Some((who, fx)) = queue.pop_front() {
+                steps += 1;
+                assert!(steps < 100_000, "harness diverged");
+                match fx {
+                    CtbEffect::Broadcast(wire) => {
+                        // Perfect TBcast: every replica (incl. sender)
+                        // delivers from `who`.
+                        for r in 0..N {
+                            let out = self.ctbs[r].on_tb_deliver(rid(who as u32), wire.clone());
+                            queue.extend(out.into_iter().map(|e| (r, e)));
+                        }
+                    }
+                    CtbEffect::Sign { k, fp } => {
+                        let signer =
+                            self.ring.signer(ProcessId::Replica(rid(who as u32))).unwrap();
+                        let sig = signer.sign(&signed_bytes(self.stream, k, &fp));
+                        let out = self.ctbs[who].on_sign_done(k, sig);
+                        queue.extend(out.into_iter().map(|e| (who, e)));
+                    }
+                    CtbEffect::Verify { tag, k, fp, sig } => {
+                        let ok = self.ring.verify(
+                            ProcessId::Replica(self.stream),
+                            &signed_bytes(self.stream, k, &fp),
+                            &sig,
+                        );
+                        let out = self.ctbs[who].on_verify_done(tag, ok);
+                        queue.extend(out.into_iter().map(|e| (who, e)));
+                    }
+                    CtbEffect::WriteRegister { slot, k, entry } => {
+                        self.registers[who][slot] = Some(entry);
+                        let out = self.ctbs[who].on_register_written(k);
+                        queue.extend(out.into_iter().map(|e| (who, e)));
+                    }
+                    CtbEffect::ReadSlot { slot, k } => {
+                        let entries: Vec<Option<RegEntry>> =
+                            (0..N).map(|r| self.registers[r][slot].clone()).collect();
+                        let out = self.ctbs[who].on_registers_read(k, entries);
+                        queue.extend(out.into_iter().map(|e| (who, e)));
+                    }
+                    CtbEffect::Deliver { k, payload } => {
+                        self.delivered[who].push((k, payload));
+                    }
+                    CtbEffect::Equivocation { k } => {
+                        self.equivocations[who].push(k);
+                    }
+                    CtbEffect::ArmSlowTimer { .. } => {
+                        // Timeout never fires in the synchronous harness.
+                    }
+                }
+            }
+        }
+
+        fn broadcast(&mut self, m: &[u8]) -> SeqId {
+            let (k, fx) = self.ctbs[0].broadcast(m.to_vec());
+            self.run(fx.into_iter().map(|e| (0usize, e)).collect());
+            k
+        }
+    }
+
+    fn cfg_fast() -> CtbConfig {
+        CtbConfig { n: N, tail: T, fast_enabled: true, slow: SlowMode::Never }
+    }
+
+    fn cfg_slow() -> CtbConfig {
+        CtbConfig { n: N, tail: T, fast_enabled: false, slow: SlowMode::Always }
+    }
+
+    #[test]
+    fn fast_path_delivers_to_all() {
+        let mut h = Harness::new(cfg_fast());
+        let k = h.broadcast(b"hello");
+        for r in 0..N {
+            assert_eq!(h.delivered[r], vec![(k, b"hello".to_vec())], "replica {r}");
+        }
+    }
+
+    #[test]
+    fn slow_path_delivers_to_all() {
+        let mut h = Harness::new(cfg_slow());
+        let k = h.broadcast(b"slowly");
+        for r in 0..N {
+            assert_eq!(h.delivered[r], vec![(k, b"slowly".to_vec())], "replica {r}");
+        }
+    }
+
+    #[test]
+    fn both_paths_deliver_exactly_once() {
+        let cfg = CtbConfig { n: N, tail: T, fast_enabled: true, slow: SlowMode::Always };
+        let mut h = Harness::new(cfg);
+        let k = h.broadcast(b"once");
+        for r in 0..N {
+            assert_eq!(h.delivered[r], vec![(k, b"once".to_vec())], "replica {r}");
+        }
+    }
+
+    #[test]
+    fn sequential_broadcasts_all_delivered_in_tail() {
+        let mut h = Harness::new(cfg_fast());
+        for i in 0..10u8 {
+            h.broadcast(&[i]);
+        }
+        for r in 0..N {
+            assert_eq!(h.delivered[r].len(), 10);
+            let ks: Vec<u64> = h.delivered[r].iter().map(|(k, _)| k.0).collect();
+            assert_eq!(ks, (1..=10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fast_equivocation_never_delivers_conflicting() {
+        // Byzantine broadcaster: LOCK m1 to r1, LOCK m2 to r2 under k=1.
+        let mut h = Harness::new(cfg_fast());
+        let k = SeqId(1);
+        let mut queue = Vec::new();
+        let out1 = h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Lock { k, m: b"m1".to_vec() });
+        queue.extend(out1.into_iter().map(|e| (1usize, e)));
+        let out2 = h.ctbs[2].on_tb_deliver(rid(0), CtbWire::Lock { k, m: b"m2".to_vec() });
+        queue.extend(out2.into_iter().map(|e| (2usize, e)));
+        h.run(queue);
+        // Unanimity is impossible: nobody delivers anything.
+        for r in 0..N {
+            assert!(h.delivered[r].is_empty(), "replica {r} delivered during equivocation");
+        }
+    }
+
+    #[test]
+    fn slow_equivocation_preserves_agreement() {
+        // Byzantine broadcaster signs two different messages for k=1 and
+        // sends one to each receiver. Registers must prevent conflicting
+        // deliveries.
+        let h_ring = ring();
+        let signer = h_ring.signer(ProcessId::Replica(rid(0))).unwrap();
+        let mut h = Harness::new(cfg_slow());
+        let k = SeqId(1);
+        let m1 = b"m1".to_vec();
+        let m2 = b"m2".to_vec();
+        let s1 = signer.sign(&signed_bytes(rid(0), k, &fingerprint(&m1)));
+        let s2 = signer.sign(&signed_bytes(rid(0), k, &fingerprint(&m2)));
+        // r1 processes m1 fully first, then r2 receives m2.
+        let out = h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Signed { k, m: m1.clone(), sig: s1 });
+        h.run(out.into_iter().map(|e| (1usize, e)).collect());
+        assert_eq!(h.delivered[1], vec![(k, m1.clone())]);
+        let out = h.ctbs[2].on_tb_deliver(rid(0), CtbWire::Signed { k, m: m2, sig: s2 });
+        h.run(out.into_iter().map(|e| (2usize, e)).collect());
+        // r2 found r1's conflicting valid entry: no delivery, equivocation
+        // reported. Agreement holds.
+        assert!(h.delivered[2].is_empty());
+        assert_eq!(h.equivocations[2], vec![k]);
+    }
+
+    #[test]
+    fn forged_register_entry_does_not_block_delivery() {
+        // A Byzantine *receiver* (r2) plants a garbage entry in its own
+        // register for slot k%t. r1's slow delivery must verify it, find the
+        // signature invalid, and still deliver.
+        let h_ring = ring();
+        let signer = h_ring.signer(ProcessId::Replica(rid(0))).unwrap();
+        let mut h = Harness::new(cfg_slow());
+        let k = SeqId(1);
+        let m = b"legit".to_vec();
+        let fp = fingerprint(&m);
+        let sig = signer.sign(&signed_bytes(rid(0), k, &fp));
+        // r2 plants a forged conflicting entry.
+        h.registers[2][k.ring_index(T)] = Some(RegEntry {
+            k,
+            fp: fingerprint(b"fake"),
+            sig: Signature::garbage(),
+        });
+        let out = h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Signed { k, m: m.clone(), sig });
+        h.run(out.into_iter().map(|e| (1usize, e)).collect());
+        assert_eq!(h.delivered[1], vec![(k, m)]);
+        assert!(h.equivocations[1].is_empty());
+    }
+
+    #[test]
+    fn out_of_tail_signed_message_dropped() {
+        // r1 holds back processing of k=1 while the broadcaster moves on to
+        // k = 1 + T (same ring slot). When r1 finally reads the registers it
+        // finds the newer entry and must drop k=1.
+        let h_ring = ring();
+        let signer = h_ring.signer(ProcessId::Replica(rid(0))).unwrap();
+        let mut h = Harness::new(cfg_slow());
+        let old_k = SeqId(1);
+        let new_k = SeqId(1 + T as u64);
+        let m_old = b"old".to_vec();
+        let m_new = b"new".to_vec();
+        let fp_new = fingerprint(&m_new);
+        let sig_new = signer.sign(&signed_bytes(rid(0), new_k, &fp_new));
+        // r2 already processed new_k: its register holds the newer entry.
+        h.registers[2][new_k.ring_index(T)] =
+            Some(RegEntry { k: new_k, fp: fp_new, sig: sig_new });
+        let sig_old = signer.sign(&signed_bytes(rid(0), old_k, &fingerprint(&m_old)));
+        let out =
+            h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Signed { k: old_k, m: m_old, sig: sig_old });
+        h.run(out.into_iter().map(|e| (1usize, e)).collect());
+        assert!(h.delivered[1].is_empty(), "out-of-tail message must not deliver");
+    }
+
+    #[test]
+    fn invalid_signature_rejected() {
+        let mut h = Harness::new(cfg_slow());
+        let out = h.ctbs[1].on_tb_deliver(
+            rid(0),
+            CtbWire::Signed { k: SeqId(1), m: b"bad".to_vec(), sig: Signature::garbage() },
+        );
+        h.run(out.into_iter().map(|e| (1usize, e)).collect());
+        assert!(h.delivered[1].is_empty());
+    }
+
+    #[test]
+    fn lock_from_non_broadcaster_ignored() {
+        let mut h = Harness::new(cfg_fast());
+        let out =
+            h.ctbs[1].on_tb_deliver(rid(2), CtbWire::Lock { k: SeqId(1), m: b"fake".to_vec() });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_many_broadcasts() {
+        let mut h = Harness::new(cfg_fast());
+        let mut peak = 0usize;
+        for i in 0..200u32 {
+            h.broadcast(&i.to_le_bytes());
+            peak = peak.max(h.ctbs[1].resident_bytes());
+        }
+        // The cache holds at most 2t payloads plus O(n·t) bookkeeping; with
+        // t=4 and 4-byte payloads this is well under 4 KiB.
+        assert!(peak < 4096, "resident bytes grew to {peak}");
+        for r in 0..N {
+            assert_eq!(h.delivered[r].len(), 200);
+        }
+    }
+
+    #[test]
+    fn fast_lock_forces_slow_path_value() {
+        // r1 locked (k, m1) via the fast path; a signed (k, m2) must not
+        // pass the line-28 check.
+        let h_ring = ring();
+        let signer = h_ring.signer(ProcessId::Replica(rid(0))).unwrap();
+        let cfg = CtbConfig { n: N, tail: T, fast_enabled: true, slow: SlowMode::Never };
+        let mut h = Harness::new(cfg);
+        let k = SeqId(1);
+        let out = h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Lock { k, m: b"m1".to_vec() });
+        // Swallow the LOCKED broadcast: we only care about the lock.
+        drop(out);
+        let m2 = b"m2".to_vec();
+        let sig = signer.sign(&signed_bytes(rid(0), k, &fingerprint(&m2)));
+        let out = h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Signed { k, m: m2, sig });
+        h.run(out.into_iter().map(|e| (1usize, e)).collect());
+        assert!(h.delivered[1].is_empty(), "conflicting slow value must be refused");
+    }
+
+    #[test]
+    fn next_seq_and_accessors() {
+        let h = Harness::new(cfg_fast());
+        assert_eq!(h.ctbs[0].next_seq(), SeqId(1));
+        assert_eq!(h.ctbs[0].stream(), rid(0));
+        assert_eq!(h.ctbs[0].max_delivered(), SeqId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "only the broadcaster")]
+    fn non_broadcaster_cannot_broadcast() {
+        let mut h = Harness::new(cfg_fast());
+        let _ = h.ctbs[1].broadcast(b"nope".to_vec());
+    }
+}

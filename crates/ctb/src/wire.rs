@@ -1,0 +1,188 @@
+//! Wire formats for TBcast and CTBcast messages.
+
+use ubft_crypto::{sha256, Digest, Signature};
+use ubft_types::wire::{Wire, WireReader};
+use ubft_types::{CodecError, ReplicaId, SeqId};
+
+/// A Tail Broadcast frame: broadcast sequence number plus opaque payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TbWire {
+    /// The broadcaster's sequence number for this message.
+    pub k: SeqId,
+    /// Opaque payload (an encoded [`CtbWire`] or a consensus message).
+    pub payload: Vec<u8>,
+}
+
+impl Wire for TbWire {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.k.encode(buf);
+        self.payload.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(TbWire { k: SeqId::decode(r)?, payload: Vec::<u8>::decode(r)? })
+    }
+}
+
+/// An acknowledgement for TBcast retransmission control (piggybacked or
+/// periodic): "I have delivered everything I will up to `upto`".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TbAck {
+    /// Highest delivered sequence number.
+    pub upto: SeqId,
+}
+
+impl Wire for TbAck {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.upto.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(TbAck { upto: SeqId::decode(r)? })
+    }
+}
+
+/// Everything a TBcast lane carries: data frames one way, acks the other.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TbFrame {
+    /// A broadcast (or retransmitted) message.
+    Data(TbWire),
+    /// A cumulative acknowledgement.
+    Ack(TbAck),
+}
+
+impl Wire for TbFrame {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            TbFrame::Data(w) => {
+                0u8.encode(buf);
+                w.encode(buf);
+            }
+            TbFrame::Ack(a) => {
+                1u8.encode(buf);
+                a.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(TbFrame::Data(TbWire::decode(r)?)),
+            1 => Ok(TbFrame::Ack(TbAck::decode(r)?)),
+            tag => Err(CodecError::BadTag { ty: "TbFrame", tag }),
+        }
+    }
+}
+
+/// CTBcast protocol messages (Algorithm 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtbWire {
+    /// Fast path round 1: the broadcaster proposes `(k, m)`.
+    Lock {
+        /// Broadcast identifier.
+        k: SeqId,
+        /// Message payload.
+        m: Vec<u8>,
+    },
+    /// Fast path round 2: a receiver commits to `(k, m)`.
+    Locked {
+        /// Broadcast identifier.
+        k: SeqId,
+        /// Message payload (echoed so any receiver can deliver it).
+        m: Vec<u8>,
+    },
+    /// Slow path: the broadcaster's signed message.
+    Signed {
+        /// Broadcast identifier.
+        k: SeqId,
+        /// Message payload.
+        m: Vec<u8>,
+        /// Signature over `(stream, k, fingerprint(m))`.
+        sig: Signature,
+    },
+}
+
+impl Wire for CtbWire {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CtbWire::Lock { k, m } => {
+                0u8.encode(buf);
+                k.encode(buf);
+                m.encode(buf);
+            }
+            CtbWire::Locked { k, m } => {
+                1u8.encode(buf);
+                k.encode(buf);
+                m.encode(buf);
+            }
+            CtbWire::Signed { k, m, sig } => {
+                2u8.encode(buf);
+                k.encode(buf);
+                m.encode(buf);
+                sig.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(CtbWire::Lock { k: SeqId::decode(r)?, m: Vec::<u8>::decode(r)? }),
+            1 => Ok(CtbWire::Locked { k: SeqId::decode(r)?, m: Vec::<u8>::decode(r)? }),
+            2 => Ok(CtbWire::Signed {
+                k: SeqId::decode(r)?,
+                m: Vec::<u8>::decode(r)?,
+                sig: Signature::decode(r)?,
+            }),
+            tag => Err(CodecError::BadTag { ty: "CtbWire", tag }),
+        }
+    }
+}
+
+/// The fingerprint of a CTBcast message body (what gets signed and what the
+/// SWMR registers store, §7.6).
+pub fn fingerprint(m: &[u8]) -> Digest {
+    sha256(m)
+}
+
+/// The exact bytes a broadcaster signs for `(stream, k, fp)`; domain-separated
+/// so signatures cannot be replayed across streams or layers.
+pub fn signed_bytes(stream: ReplicaId, k: SeqId, fp: &Digest) -> Vec<u8> {
+    let mut buf = b"ubft-ctb-signed\0".to_vec();
+    stream.encode(&mut buf);
+    k.encode(&mut buf);
+    fp.encode(&mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubft_types::wire::roundtrip;
+
+    #[test]
+    fn wires_roundtrip() {
+        roundtrip(&TbWire { k: SeqId(9), payload: vec![1, 2, 3] });
+        roundtrip(&TbAck { upto: SeqId(4) });
+        roundtrip(&TbFrame::Data(TbWire { k: SeqId(9), payload: vec![1, 2, 3] }));
+        roundtrip(&TbFrame::Ack(TbAck { upto: SeqId(4) }));
+        roundtrip(&CtbWire::Lock { k: SeqId(1), m: b"m".to_vec() });
+        roundtrip(&CtbWire::Locked { k: SeqId(2), m: b"m".to_vec() });
+        roundtrip(&CtbWire::Signed {
+            k: SeqId(3),
+            m: b"m".to_vec(),
+            sig: Signature::garbage(),
+        });
+    }
+
+    #[test]
+    fn signed_bytes_domain_separated() {
+        let fp = fingerprint(b"m");
+        let a = signed_bytes(ReplicaId(0), SeqId(1), &fp);
+        let b = signed_bytes(ReplicaId(1), SeqId(1), &fp);
+        let c = signed_bytes(ReplicaId(0), SeqId(2), &fp);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        assert_eq!(fingerprint(b"x"), fingerprint(b"x"));
+        assert_ne!(fingerprint(b"x"), fingerprint(b"y"));
+    }
+}

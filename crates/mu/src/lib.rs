@@ -1,0 +1,225 @@
+//! Mu (OSDI '20): the crash-fault-tolerant microsecond SMR baseline (§7).
+//!
+//! Mu's common case is a single round: the leader RDMA-writes the request to
+//! a majority of follower logs and replies — no signatures, no voting, no
+//! Byzantine tolerance. This crate reproduces exactly that data path as a
+//! sans-IO state machine the runtime drives over the same simulated RDMA
+//! fabric as uBFT, so Figure 7/8 comparisons share every substrate constant.
+//!
+//! Followers apply the log in the background (off the critical path), which
+//! is why Mu's latency is one RDMA write above unreplicated execution.
+
+use std::collections::BTreeMap;
+
+use ubft_core::msg::{Reply, Request};
+use ubft_types::{ReplicaId, Slot};
+
+/// Effects emitted by the Mu leader.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MuEffect {
+    /// RDMA-write `req` into follower `to`'s log at `slot`; the runtime
+    /// reports completion via [`MuLeader::on_write_complete`].
+    WriteLog {
+        /// Destination follower.
+        to: ReplicaId,
+        /// Log position.
+        slot: Slot,
+        /// The replicated request.
+        req: Request,
+    },
+    /// The request is replicated at a majority: execute and reply.
+    Commit {
+        /// Log position.
+        slot: Slot,
+        /// The request to execute.
+        req: Request,
+    },
+}
+
+/// The Mu leader state machine.
+#[derive(Clone, Debug)]
+pub struct MuLeader {
+    me: ReplicaId,
+    followers: Vec<ReplicaId>,
+    /// Majority across the *whole* group (leader included).
+    majority: usize,
+    next_slot: Slot,
+    /// Outstanding slots: acks received so far and the request.
+    inflight: BTreeMap<Slot, (usize, Request, bool)>,
+}
+
+impl MuLeader {
+    /// Creates a leader for a group of `followers.len() + 1` replicas.
+    pub fn new(me: ReplicaId, followers: Vec<ReplicaId>) -> Self {
+        let n = followers.len() + 1;
+        MuLeader { me, followers, majority: n / 2 + 1, next_slot: Slot(0), inflight: BTreeMap::new() }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// Replicates one client request: writes it to every follower log.
+    pub fn on_client_request(&mut self, req: Request) -> Vec<MuEffect> {
+        let slot = self.next_slot;
+        self.next_slot = self.next_slot.next();
+        // The leader's own copy counts towards the majority immediately.
+        self.inflight.insert(slot, (1, req.clone(), false));
+        let mut fx: Vec<MuEffect> = self
+            .followers
+            .iter()
+            .map(|&to| MuEffect::WriteLog { to, slot, req: req.clone() })
+            .collect();
+        fx.extend(self.check_commit(slot));
+        fx
+    }
+
+    /// One follower's log write completed.
+    pub fn on_write_complete(&mut self, slot: Slot) -> Vec<MuEffect> {
+        if let Some((acks, _, _)) = self.inflight.get_mut(&slot) {
+            *acks += 1;
+        }
+        self.check_commit(slot)
+    }
+
+    fn check_commit(&mut self, slot: Slot) -> Vec<MuEffect> {
+        let ready = self
+            .inflight
+            .get(&slot)
+            .is_some_and(|(acks, _, done)| *acks >= self.majority && !done);
+        if !ready {
+            return Vec::new();
+        }
+        let (_, req, done) = self.inflight.get_mut(&slot).expect("ready");
+        *done = true;
+        let req = req.clone();
+        // Retain the entry until a later GC (bounded by pipeline depth).
+        if self.inflight.len() > 1024 {
+            let committed: Vec<Slot> = self
+                .inflight
+                .iter()
+                .filter(|(_, (_, _, d))| *d)
+                .map(|(s, _)| *s)
+                .collect();
+            for s in committed {
+                self.inflight.remove(&s);
+            }
+        }
+        vec![MuEffect::Commit { slot, req }]
+    }
+}
+
+/// A Mu follower: applies the leader's log in order (background path).
+#[derive(Clone, Debug, Default)]
+pub struct MuFollower {
+    log: BTreeMap<Slot, Request>,
+    applied_next: Slot,
+}
+
+impl MuFollower {
+    /// Creates an empty follower.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A log entry landed in this follower's memory; returns requests now
+    /// applicable in order.
+    pub fn on_log_write(&mut self, slot: Slot, req: Request) -> Vec<(Slot, Request)> {
+        self.log.insert(slot, req);
+        let mut out = Vec::new();
+        while let Some(r) = self.log.remove(&self.applied_next) {
+            out.push((self.applied_next, r));
+            self.applied_next = self.applied_next.next();
+        }
+        out
+    }
+
+    /// Next slot the follower will apply.
+    pub fn applied_next(&self) -> Slot {
+        self.applied_next
+    }
+}
+
+/// Convenience: a reply from the Mu leader.
+pub fn reply(me: ReplicaId, req: &Request, payload: Vec<u8>) -> Reply {
+    Reply { id: req.id, replica: me, payload }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubft_types::{ClientId, RequestId};
+
+    fn req(seq: u64) -> Request {
+        Request { id: RequestId::new(ClientId(0), seq), payload: vec![seq as u8] }
+    }
+
+    fn leader() -> MuLeader {
+        MuLeader::new(ReplicaId(0), vec![ReplicaId(1), ReplicaId(2)])
+    }
+
+    #[test]
+    fn writes_to_all_followers() {
+        let mut l = leader();
+        let fx = l.on_client_request(req(0));
+        let writes = fx.iter().filter(|e| matches!(e, MuEffect::WriteLog { .. })).count();
+        assert_eq!(writes, 2);
+        assert!(!fx.iter().any(|e| matches!(e, MuEffect::Commit { .. })));
+    }
+
+    #[test]
+    fn commits_after_first_follower_ack() {
+        // n=3: leader + 1 follower = majority of 2.
+        let mut l = leader();
+        l.on_client_request(req(0));
+        let fx = l.on_write_complete(Slot(0));
+        assert!(matches!(&fx[..], [MuEffect::Commit { slot: Slot(0), .. }]));
+        // The second ack must not commit again.
+        assert!(l.on_write_complete(Slot(0)).is_empty());
+    }
+
+    #[test]
+    fn pipeline_commits_in_any_ack_order() {
+        let mut l = leader();
+        l.on_client_request(req(0));
+        l.on_client_request(req(1));
+        let fx1 = l.on_write_complete(Slot(1));
+        assert!(matches!(&fx1[..], [MuEffect::Commit { slot: Slot(1), .. }]));
+        let fx0 = l.on_write_complete(Slot(0));
+        assert!(matches!(&fx0[..], [MuEffect::Commit { slot: Slot(0), .. }]));
+    }
+
+    #[test]
+    fn follower_applies_in_order() {
+        let mut f = MuFollower::new();
+        assert!(f.on_log_write(Slot(1), req(1)).is_empty());
+        let applied = f.on_log_write(Slot(0), req(0));
+        assert_eq!(applied.len(), 2);
+        assert_eq!(applied[0].0, Slot(0));
+        assert_eq!(applied[1].0, Slot(1));
+        assert_eq!(f.applied_next(), Slot(2));
+    }
+
+    #[test]
+    fn five_node_group_needs_three_copies() {
+        let mut l = MuLeader::new(
+            ReplicaId(0),
+            vec![ReplicaId(1), ReplicaId(2), ReplicaId(3), ReplicaId(4)],
+        );
+        l.on_client_request(req(0));
+        assert!(l.on_write_complete(Slot(0)).is_empty(), "2 copies: not yet");
+        let fx = l.on_write_complete(Slot(0));
+        assert!(matches!(&fx[..], [MuEffect::Commit { .. }]), "3 copies: committed");
+    }
+
+    #[test]
+    fn inflight_table_is_garbage_collected() {
+        let mut l = leader();
+        for i in 0..2000u64 {
+            l.on_client_request(req(i));
+            l.on_write_complete(Slot(i));
+        }
+        assert!(l.inflight.len() <= 1025, "inflight grew to {}", l.inflight.len());
+    }
+}

@@ -1,0 +1,161 @@
+//! Calibration constants: the simulated testbed (paper Table 1).
+//!
+//! The physical testbed is 4 dual-socket Xeon Gold 6244 servers with
+//! ConnectX-6 NICs on one 100 Gbps EDR switch. We reproduce its *timing
+//! envelope*: the network follows [`LatencyModel::paper_testbed`], CPU/crypto
+//! costs follow [`CostModel::paper_testbed`], and protocol timeouts are set
+//! far above common-case latency so they never fire in failure-free runs.
+
+use ubft_core::PathMode;
+use ubft_sim::cost::CostModel;
+use ubft_sim::failure::FailurePlan;
+use ubft_sim::net::LatencyModel;
+use ubft_types::{ClusterParams, Duration};
+
+/// Full configuration of one simulated experiment.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Cluster shape (f, f_m, tail, window, δ, max request size).
+    pub params: ClusterParams,
+    /// Fast path / slow path selection.
+    pub path: PathMode,
+    /// Experiment seed (all randomness derives from it).
+    pub seed: u64,
+    /// Network latency model.
+    pub latency: LatencyModel,
+    /// CPU/crypto cost model.
+    pub cost: CostModel,
+    /// Fault schedule.
+    pub failures: FailurePlan,
+    /// Fast-path timeout before the slow path starts.
+    pub slow_trigger: Duration,
+    /// Leader-progress watchdog period.
+    pub progress_timeout: Duration,
+    /// Echo-round fallback timeout.
+    pub echo_fallback: Duration,
+    /// Receiver poll pickup delay (buffer scan granularity).
+    pub poll_pickup: Duration,
+    /// TBcast retransmission tick: unacknowledged buffered messages older
+    /// than one full period are resent (§4.2). Recovery from message loss
+    /// (partitions, buffer overwrite) takes between one and two periods.
+    pub retransmit_period: Duration,
+    /// Whether the leader runs the §5.4 echo round before proposing
+    /// (disabled in the echo ablation).
+    pub echo_round: bool,
+    /// Number of closed-loop clients. Two clients keep two consensus slots
+    /// in flight, the §9 interleaving that doubles throughput by using the
+    /// slack between a slot's protocol events.
+    pub n_clients: usize,
+    /// Override for the CTBcast-summary trigger interval (Algorithm 4).
+    /// `None` keeps the paper's `t/2` double-buffering; `Some(t)` is the
+    /// single-buffered ablation.
+    pub summary_every: Option<u64>,
+}
+
+impl SimConfig {
+    /// The deployed configuration on the simulated testbed.
+    pub fn paper_default(seed: u64) -> Self {
+        SimConfig {
+            params: ClusterParams::paper_default(),
+            path: PathMode::FastWithFallback,
+            seed,
+            latency: LatencyModel::paper_testbed(),
+            cost: CostModel::paper_testbed(),
+            failures: FailurePlan::none(),
+            slow_trigger: Duration::from_micros(200),
+            progress_timeout: Duration::from_millis(1),
+            echo_fallback: Duration::from_micros(100),
+            poll_pickup: Duration::from_nanos(150),
+            retransmit_period: Duration::from_micros(150),
+            echo_round: true,
+            n_clients: 1,
+            summary_every: None,
+        }
+    }
+
+    /// Fast-path-only variant (Figures 7, 11).
+    #[must_use]
+    pub fn fast_only(mut self) -> Self {
+        self.path = PathMode::FastOnly;
+        self
+    }
+
+    /// Forced-slow-path variant (Figure 8's "uBFT slow path").
+    #[must_use]
+    pub fn slow_only(mut self) -> Self {
+        self.path = PathMode::SlowOnly;
+        self
+    }
+
+    /// Overrides the CTBcast tail (Figure 11 / Table 2 sweeps).
+    #[must_use]
+    pub fn with_tail(mut self, tail: usize) -> Self {
+        self.params = self.params.with_tail(tail);
+        self
+    }
+
+    /// Overrides the largest request size (channel slot sizing).
+    #[must_use]
+    pub fn with_max_request(mut self, bytes: usize) -> Self {
+        self.params = self.params.with_max_request_bytes(bytes);
+        self
+    }
+
+    /// Disables the §5.4 echo round (the echo ablation: what the round
+    /// costs in latency, and what Byzantine-client protection it buys).
+    #[must_use]
+    pub fn without_echo(mut self) -> Self {
+        self.echo_round = false;
+        self
+    }
+
+    /// Sets the number of concurrent closed-loop clients (§9 throughput).
+    #[must_use]
+    pub fn with_clients(mut self, n: usize) -> Self {
+        self.n_clients = n.max(1);
+        self
+    }
+
+    /// Overrides the CTBcast-summary trigger interval: `t` instead of the
+    /// default `t/2` reproduces the single-buffered design the paper's
+    /// footnote 3 rejects.
+    #[must_use]
+    pub fn with_summary_every(mut self, every: u64) -> Self {
+        self.summary_every = Some(every.max(1));
+        self
+    }
+
+    /// Channel slot payload for CTBcast lanes: one request plus certificate
+    /// and header headroom (checked at send time).
+    pub fn slot_payload(&self) -> usize {
+        self.params.max_request_bytes + 4096
+    }
+
+    /// Channel slot payload for consensus-TB and direct lanes, which carry
+    /// bounded state summaries (up to 4 commits, each wrapping a request).
+    pub fn wide_slot_payload(&self) -> usize {
+        6 * self.params.max_request_bytes + 8192
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_shaped() {
+        let c = SimConfig::paper_default(1);
+        assert_eq!(c.params.n(), 3);
+        assert_eq!(c.params.tail, 128);
+        assert!(c.slow_trigger > Duration::from_micros(50));
+        assert!(c.slot_payload() >= 2048);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::paper_default(1).fast_only().with_tail(16).with_max_request(64);
+        assert_eq!(c.path, PathMode::FastOnly);
+        assert_eq!(c.params.tail, 16);
+        assert_eq!(c.params.max_request_bytes, 64);
+    }
+}

@@ -1,0 +1,22 @@
+//! The simulation runtime: wires the sans-IO protocol state machines onto
+//! the simulated RDMA fabric, charges calibrated virtual-time costs, and
+//! drives closed-loop clients to produce the paper's latency distributions.
+//!
+//! * [`cluster::Cluster`] — a full uBFT deployment: `2f + 1` replica engines
+//!   with per-stream CTBcast instances, TBcast lanes over circular-buffer
+//!   channels, SWMR register banks on `2f_m + 1` memory nodes, a crypto-pool
+//!   model, timers, and closed-loop clients.
+//! * [`baselines`] — the comparison systems measured the same way:
+//!   unreplicated execution, Mu, and MinBFT (vanilla + HMAC).
+//! * [`calibration`] — every latency/cost constant in one place (simulated
+//!   Table 1).
+//! * [`memory`] — replica-local and disaggregated memory accounting
+//!   (Table 2).
+
+pub mod baselines;
+pub mod calibration;
+pub mod cluster;
+pub mod memory;
+
+pub use calibration::SimConfig;
+pub use cluster::{Cluster, OpCounters, RunReport};

@@ -1,0 +1,23 @@
+//! Memory accounting for Table 2.
+
+use crate::cluster::Cluster;
+
+/// A Table 2 row: memory consumption for one configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Replica-local resident bytes (channel buffers, mirrors, staging, TB
+    /// retransmission buffers, CTBcast bookkeeping).
+    pub replica_local_bytes: usize,
+    /// Disaggregated bytes on one memory node (register banks).
+    pub disagg_bytes_per_node: usize,
+}
+
+impl MemoryReport {
+    /// Measures the given cluster (leader replica 0).
+    pub fn measure(cluster: &Cluster) -> Self {
+        MemoryReport {
+            replica_local_bytes: cluster.replica_local_bytes(0),
+            disagg_bytes_per_node: cluster.disagg_bytes_per_node(),
+        }
+    }
+}

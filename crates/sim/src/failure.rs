@@ -1,0 +1,245 @@
+//! Failure injection plans for experiments and tests.
+//!
+//! A [`FailurePlan`] is a declarative schedule of faults — replica crashes,
+//! memory-node crashes, Byzantine behaviour activations, and asynchrony
+//! phases — that the runtime applies when building a cluster. Keeping plans
+//! declarative means an experiment's fault schedule is part of its
+//! reproducible configuration.
+
+use ubft_types::{Duration, Time};
+
+/// The kind of misbehaviour a Byzantine replica exhibits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ByzantineMode {
+    /// Sends different proposals to different receivers (the attack CTBcast
+    /// exists to stop).
+    EquivocateProposals,
+    /// Stops participating entirely (indistinguishable from a crash).
+    Silent,
+    /// A leader that never proposes client requests (censorship — must
+    /// trigger a view change).
+    CensorRequests,
+    /// Writes garbage checksums / violates the δ cooldown on its SWMR
+    /// registers (the §6.1 attack the register read path must detect).
+    CorruptRegisters,
+    /// Delays every outgoing message by a fixed amount (slow but correct —
+    /// a gray failure).
+    Laggard,
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Replica `index` crashes at `at`.
+    ReplicaCrash {
+        /// Replica index.
+        index: usize,
+        /// Crash time.
+        at: Time,
+    },
+    /// Memory node `index` crashes at `at`.
+    MemNodeCrash {
+        /// Memory node index.
+        index: usize,
+        /// Crash time.
+        at: Time,
+    },
+    /// Replica `index` behaves Byzantine in `mode` from time `from`.
+    Byzantine {
+        /// Replica index.
+        index: usize,
+        /// Behaviour exhibited.
+        mode: ByzantineMode,
+        /// Activation time.
+        from: Time,
+    },
+    /// Replicas `a` and `b` cannot exchange messages during `[from, until)`.
+    Partition {
+        /// One endpoint (replica index).
+        a: usize,
+        /// The other endpoint (replica index).
+        b: usize,
+        /// Partition start.
+        from: Time,
+        /// Partition end (healed from here on).
+        until: Time,
+    },
+}
+
+/// A declarative fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FailurePlan {
+    faults: Vec<Fault>,
+    /// Global stabilization time (network is asynchronous before this).
+    pub gst: Time,
+    /// Extra per-hop delay bound before GST.
+    pub pre_gst_extra: Duration,
+}
+
+impl FailurePlan {
+    /// A failure-free, synchronous-from-the-start plan.
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Adds a replica crash.
+    #[must_use]
+    pub fn crash_replica(mut self, index: usize, at: Time) -> Self {
+        self.faults.push(Fault::ReplicaCrash { index, at });
+        self
+    }
+
+    /// Adds a memory-node crash.
+    #[must_use]
+    pub fn crash_mem_node(mut self, index: usize, at: Time) -> Self {
+        self.faults.push(Fault::MemNodeCrash { index, at });
+        self
+    }
+
+    /// Makes a replica Byzantine.
+    #[must_use]
+    pub fn byzantine(mut self, index: usize, mode: ByzantineMode, from: Time) -> Self {
+        self.faults.push(Fault::Byzantine { index, mode, from });
+        self
+    }
+
+    /// Sets an initial asynchronous period ending at `gst`.
+    #[must_use]
+    pub fn with_asynchrony(mut self, gst: Time, extra: Duration) -> Self {
+        self.gst = gst;
+        self.pre_gst_extra = extra;
+        self
+    }
+
+    /// Severs replicas `a` and `b` during `[from, until)`.
+    #[must_use]
+    pub fn partition(mut self, a: usize, b: usize, from: Time, until: Time) -> Self {
+        self.faults.push(Fault::Partition { a, b, from, until });
+        self
+    }
+
+    /// All scheduled partitions as `(a, b, from, until)` tuples.
+    pub fn partitions(&self) -> impl Iterator<Item = (usize, usize, Time, Time)> + '_ {
+        self.faults.iter().filter_map(|f| match f {
+            Fault::Partition { a, b, from, until } => Some((*a, *b, *from, *until)),
+            _ => None,
+        })
+    }
+
+    /// All scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The Byzantine mode of replica `index` active at time `t`, if any.
+    pub fn byzantine_mode(&self, index: usize, t: Time) -> Option<ByzantineMode> {
+        self.faults.iter().rev().find_map(|f| match f {
+            Fault::Byzantine { index: i, mode, from } if *i == index && t >= *from => Some(*mode),
+            _ => None,
+        })
+    }
+
+    /// Crash time of replica `index`, if scheduled.
+    pub fn replica_crash_time(&self, index: usize) -> Option<Time> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::ReplicaCrash { index: i, at } if *i == index => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Crash time of memory node `index`, if scheduled.
+    pub fn mem_node_crash_time(&self, index: usize) -> Option<Time> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::MemNodeCrash { index: i, at } if *i == index => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Number of replicas that are faulty (crashed or Byzantine) in this
+    /// plan, for sanity-checking against the cluster's `f`.
+    pub fn faulty_replica_count(&self) -> usize {
+        let mut idx: Vec<usize> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ReplicaCrash { index, .. } => Some(*index),
+                Fault::Byzantine { index, .. } => Some(*index),
+                // Partitioned replicas are correct — the network is at
+                // fault, and eventual synchrony says it heals.
+                Fault::MemNodeCrash { .. } | Fault::Partition { .. } => None,
+            })
+            .collect();
+        idx.sort_unstable();
+        idx.dedup();
+        idx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Time {
+        Time::ZERO + Duration::from_micros(us)
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = FailurePlan::none();
+        assert!(p.faults().is_empty());
+        assert_eq!(p.faulty_replica_count(), 0);
+        assert_eq!(p.byzantine_mode(0, t(100)), None);
+    }
+
+    #[test]
+    fn byzantine_activation_time() {
+        let p = FailurePlan::none().byzantine(1, ByzantineMode::EquivocateProposals, t(50));
+        assert_eq!(p.byzantine_mode(1, t(49)), None);
+        assert_eq!(p.byzantine_mode(1, t(50)), Some(ByzantineMode::EquivocateProposals));
+        assert_eq!(p.byzantine_mode(0, t(50)), None);
+    }
+
+    #[test]
+    fn latest_byzantine_mode_wins() {
+        let p = FailurePlan::none()
+            .byzantine(0, ByzantineMode::Silent, t(10))
+            .byzantine(0, ByzantineMode::CensorRequests, t(20));
+        assert_eq!(p.byzantine_mode(0, t(15)), Some(ByzantineMode::Silent));
+        assert_eq!(p.byzantine_mode(0, t(25)), Some(ByzantineMode::CensorRequests));
+    }
+
+    #[test]
+    fn crash_lookup() {
+        let p = FailurePlan::none()
+            .crash_replica(2, t(5))
+            .crash_mem_node(0, t(7));
+        assert_eq!(p.replica_crash_time(2), Some(t(5)));
+        assert_eq!(p.replica_crash_time(0), None);
+        assert_eq!(p.mem_node_crash_time(0), Some(t(7)));
+        assert_eq!(p.faulty_replica_count(), 1);
+    }
+
+    #[test]
+    fn faulty_count_dedups() {
+        let p = FailurePlan::none()
+            .crash_replica(1, t(5))
+            .byzantine(1, ByzantineMode::Silent, t(1))
+            .byzantine(2, ByzantineMode::Laggard, t(1));
+        assert_eq!(p.faulty_replica_count(), 2);
+    }
+
+    #[test]
+    fn partitions_are_not_replica_faults() {
+        let p = FailurePlan::none().partition(0, 2, t(10), t(50));
+        assert_eq!(p.faulty_replica_count(), 0);
+        let parts: Vec<_> = p.partitions().collect();
+        assert_eq!(parts, vec![(0, 2, t(10), t(50))]);
+    }
+
+    #[test]
+    fn asynchrony_phase() {
+        let p = FailurePlan::none().with_asynchrony(t(1000), Duration::from_micros(100));
+        assert_eq!(p.gst, t(1000));
+        assert_eq!(p.pre_gst_extra, Duration::from_micros(100));
+    }
+}

@@ -1,0 +1,166 @@
+//! Latency statistics: percentile extraction for the figure harnesses.
+
+use ubft_types::Duration;
+
+/// A collection of latency samples with percentile queries.
+///
+/// # Example
+///
+/// ```
+/// use ubft_sim::stats::LatencyStats;
+/// use ubft_types::Duration;
+///
+/// let mut s = LatencyStats::new();
+/// for us in 1..=100 {
+///     s.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(s.percentile(50.0), Duration::from_micros(50));
+/// assert_eq!(s.percentile(90.0), Duration::from_micros(90));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<Duration>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        LatencyStats { samples: Vec::new(), sorted: true }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded or `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Duration {
+        assert!(!self.samples.is_empty(), "no samples");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        self.ensure_sorted();
+        if p == 0.0 {
+            return self.samples[0];
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Duration {
+        self.percentile(50.0)
+    }
+
+    /// Arithmetic mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn mean(&self) -> Duration {
+        assert!(!self.samples.is_empty(), "no samples");
+        let total: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
+        Duration::from_nanos((total / self.samples.len() as u128) as u64)
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> Duration {
+        self.percentile(0.0)
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> Duration {
+        self.percentile(100.0)
+    }
+
+    /// All samples, sorted ascending (for CDF plots like Figure 11).
+    pub fn sorted_samples(&mut self) -> &[Duration] {
+        self.ensure_sorted();
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Duration {
+        Duration::from_micros(v)
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = LatencyStats::new();
+        for v in [15, 20, 35, 40, 50] {
+            s.record(us(v));
+        }
+        assert_eq!(s.percentile(30.0), us(20));
+        assert_eq!(s.percentile(40.0), us(20));
+        assert_eq!(s.percentile(50.0), us(35));
+        assert_eq!(s.percentile(100.0), us(50));
+        assert_eq!(s.min(), us(15));
+        assert_eq!(s.max(), us(50));
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let mut s = LatencyStats::new();
+        for v in [9, 1, 5, 3, 7] {
+            s.record(us(v));
+        }
+        assert_eq!(s.median(), us(5));
+        assert_eq!(s.sorted_samples().first().copied(), Some(us(1)));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut s = LatencyStats::new();
+        s.record(us(10));
+        s.record(us(20));
+        assert_eq!(s.mean(), us(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_percentile_panics() {
+        LatencyStats::new().percentile(50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_percentile_panics() {
+        let mut s = LatencyStats::new();
+        s.record(us(1));
+        s.percentile(101.0);
+    }
+
+    #[test]
+    fn record_after_query_resorts() {
+        let mut s = LatencyStats::new();
+        s.record(us(10));
+        assert_eq!(s.median(), us(10));
+        s.record(us(2));
+        assert_eq!(s.min(), us(2));
+    }
+}

@@ -1,0 +1,231 @@
+//! Latency attribution traces for the Figure 9 breakdown.
+//!
+//! Components record *spans* tagged with a primitive category (P2P, Crypto,
+//! SWMR, Other) and a component (RPC, CTB, SMR). The figure harness sums the
+//! spans belonging to one request to recursively decompose its end-to-end
+//! latency, exactly like the paper's Figure 9.
+
+use std::collections::BTreeMap;
+
+use ubft_types::{Duration, Time};
+
+/// Primitive latency source (the fine-grained legend of Figure 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Point-to-point messaging over the circular-buffer primitive.
+    P2p,
+    /// Signature generation/verification including pool synchronization.
+    Crypto,
+    /// Disaggregated-memory register access.
+    Swmr,
+    /// Glue logic, buffer copies, event-loop delays.
+    Other,
+}
+
+impl Category {
+    /// All categories in display order.
+    pub const ALL: [Category; 4] =
+        [Category::P2p, Category::Crypto, Category::Swmr, Category::Other];
+
+    /// Short label used in the harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::P2p => "P2P",
+            Category::Crypto => "Crypto",
+            Category::Swmr => "SWMR",
+            Category::Other => "Other",
+        }
+    }
+}
+
+/// Protocol component (the coarse columns of Figure 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// Client/replica remote procedure call layer.
+    Rpc,
+    /// Consistent Tail Broadcast.
+    Ctb,
+    /// The replication engine above CTBcast.
+    Smr,
+}
+
+impl Component {
+    /// All components in display order.
+    pub const ALL: [Component; 3] = [Component::Rpc, Component::Ctb, Component::Smr];
+
+    /// Short label used in the harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Rpc => "RPC",
+            Component::Ctb => "CTB",
+            Component::Smr => "SMR",
+        }
+    }
+}
+
+/// One attributed interval of virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// The request this span contributes to (the harness's correlation key).
+    pub request: u64,
+    /// Which component incurred the time.
+    pub component: Component,
+    /// Which primitive the time was spent in.
+    pub category: Category,
+    /// Span start.
+    pub start: Time,
+    /// Span end.
+    pub end: Time,
+}
+
+impl Span {
+    /// Span length.
+    pub fn duration(&self) -> Duration {
+        self.end.since(self.start)
+    }
+}
+
+/// A recorder of attributed spans. Disabled by default (recording is a no-op
+/// until [`Tracer::enable`]) so the hot path costs nothing when figures do
+/// not need it.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    spans: Vec<Span>,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a span if enabled.
+    pub fn record(
+        &mut self,
+        request: u64,
+        component: Component,
+        category: Category,
+        start: Time,
+        end: Time,
+    ) {
+        if self.enabled && end > start {
+            self.spans.push(Span { request, component, category, start, end });
+        }
+    }
+
+    /// All recorded spans.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Sums span time per `(component, category)` for one request.
+    pub fn breakdown(&self, request: u64) -> BTreeMap<(Component, Category), Duration> {
+        let mut out = BTreeMap::new();
+        for s in self.spans.iter().filter(|s| s.request == request) {
+            let e = out.entry((s.component, s.category)).or_insert(Duration::ZERO);
+            *e += s.duration();
+        }
+        out
+    }
+
+    /// Sums span time per `(component, category)` across all requests,
+    /// averaged over `n_requests`.
+    pub fn mean_breakdown(
+        &self,
+        n_requests: u64,
+    ) -> BTreeMap<(Component, Category), Duration> {
+        let mut out = BTreeMap::new();
+        for s in &self.spans {
+            let e = out.entry((s.component, s.category)).or_insert(Duration::ZERO);
+            *e += s.duration();
+        }
+        if n_requests > 1 {
+            for v in out.values_mut() {
+                *v = v.div(n_requests);
+            }
+        }
+        out
+    }
+
+    /// Drops all recorded spans.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = Tracer::new();
+        tr.record(1, Component::Rpc, Category::P2p, t(0), t(10));
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_accumulates() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        tr.record(1, Component::Ctb, Category::P2p, t(0), t(10));
+        tr.record(1, Component::Ctb, Category::P2p, t(20), t(25));
+        tr.record(1, Component::Ctb, Category::Crypto, t(10), t(20));
+        tr.record(2, Component::Smr, Category::Other, t(0), t(1));
+        let b = tr.breakdown(1);
+        assert_eq!(b[&(Component::Ctb, Category::P2p)], Duration::from_nanos(15));
+        assert_eq!(b[&(Component::Ctb, Category::Crypto)], Duration::from_nanos(10));
+        assert!(!b.contains_key(&(Component::Smr, Category::Other)));
+    }
+
+    #[test]
+    fn zero_length_spans_ignored() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        tr.record(1, Component::Rpc, Category::Other, t(5), t(5));
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    fn mean_breakdown_divides() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        tr.record(1, Component::Rpc, Category::P2p, t(0), t(10));
+        tr.record(2, Component::Rpc, Category::P2p, t(0), t(30));
+        let b = tr.mean_breakdown(2);
+        assert_eq!(b[&(Component::Rpc, Category::P2p)], Duration::from_nanos(20));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Category::P2p.label(), "P2P");
+        assert_eq!(Component::Smr.label(), "SMR");
+        assert_eq!(Category::ALL.len(), 4);
+        assert_eq!(Component::ALL.len(), 3);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        tr.record(1, Component::Rpc, Category::P2p, t(0), t(10));
+        tr.clear();
+        assert!(tr.spans().is_empty());
+        assert!(tr.is_enabled());
+    }
+}

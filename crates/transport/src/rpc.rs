@@ -1,0 +1,186 @@
+//! The client RPC layer.
+//!
+//! Clients send **unsigned** requests to *all* replicas (§5.4: the fast path
+//! eschews client signatures; replicas only endorse a proposal for a request
+//! they received directly). Replicas respond after executing; the client
+//! accepts a result once `f + 1` replicas sent *matching* responses — at
+//! least one of which is then correct.
+
+use ubft_crypto::sha256;
+use ubft_types::wire::{Wire, WireReader};
+use ubft_types::{CodecError, ReplicaId, RequestId};
+
+/// A client request as carried on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RpcRequest {
+    /// Unique request id (client id + client-local sequence).
+    pub id: RequestId,
+    /// Opaque application payload.
+    pub payload: Vec<u8>,
+}
+
+impl Wire for RpcRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.payload.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(RpcRequest { id: RequestId::decode(r)?, payload: Vec::<u8>::decode(r)? })
+    }
+}
+
+/// A replica's response to a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RpcResponse {
+    /// The request being answered.
+    pub id: RequestId,
+    /// The responding replica.
+    pub replica: ReplicaId,
+    /// Application output.
+    pub payload: Vec<u8>,
+}
+
+impl Wire for RpcResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.replica.encode(buf);
+        self.payload.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(RpcResponse {
+            id: RequestId::decode(r)?,
+            replica: ReplicaId::decode(r)?,
+            payload: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+/// Client-side collector: accepts a response once `quorum` replicas sent the
+/// same payload for the same request.
+#[derive(Clone, Debug)]
+pub struct ResponseCollector {
+    quorum: usize,
+    /// `(replica, payload digest)` pairs seen for the current request.
+    seen: Vec<(ReplicaId, ubft_crypto::Digest)>,
+    current: Option<RequestId>,
+    accepted: Option<Vec<u8>>,
+}
+
+impl ResponseCollector {
+    /// Creates a collector requiring `quorum` matching responses
+    /// (`f + 1` in uBFT).
+    pub fn new(quorum: usize) -> Self {
+        assert!(quorum >= 1);
+        ResponseCollector { quorum, seen: Vec::new(), current: None, accepted: None }
+    }
+
+    /// Starts collecting for a new request, discarding older state.
+    pub fn begin(&mut self, id: RequestId) {
+        self.current = Some(id);
+        self.seen.clear();
+        self.accepted = None;
+    }
+
+    /// Feeds one response; returns the accepted payload the first time a
+    /// quorum of matching responses is reached.
+    pub fn offer(&mut self, resp: &RpcResponse) -> Option<Vec<u8>> {
+        if self.current != Some(resp.id) || self.accepted.is_some() {
+            return None;
+        }
+        let digest = sha256(&resp.payload);
+        if self.seen.iter().any(|(r, _)| *r == resp.replica) {
+            return None; // a replica only gets one vote
+        }
+        self.seen.push((resp.replica, digest));
+        let matching = self.seen.iter().filter(|(_, d)| *d == digest).count();
+        if matching >= self.quorum {
+            self.accepted = Some(resp.payload.clone());
+            return Some(resp.payload.clone());
+        }
+        None
+    }
+
+    /// The accepted payload, if quorum was reached.
+    pub fn accepted(&self) -> Option<&[u8]> {
+        self.accepted.as_deref()
+    }
+
+    /// Distinct replicas heard from for the current request.
+    pub fn responses_seen(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubft_types::ClientId;
+
+    fn req_id() -> RequestId {
+        RequestId::new(ClientId(1), 7)
+    }
+
+    fn resp(replica: u32, payload: &[u8]) -> RpcResponse {
+        RpcResponse { id: req_id(), replica: ReplicaId(replica), payload: payload.to_vec() }
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        ubft_types::wire::roundtrip(&RpcRequest { id: req_id(), payload: vec![1, 2, 3] });
+        ubft_types::wire::roundtrip(&resp(2, b"out"));
+    }
+
+    #[test]
+    fn accepts_on_quorum_of_matching() {
+        let mut c = ResponseCollector::new(2);
+        c.begin(req_id());
+        assert_eq!(c.offer(&resp(0, b"A")), None);
+        assert_eq!(c.offer(&resp(1, b"A")), Some(b"A".to_vec()));
+        assert_eq!(c.accepted(), Some(&b"A"[..]));
+    }
+
+    #[test]
+    fn byzantine_minority_cannot_force_wrong_result() {
+        let mut c = ResponseCollector::new(2);
+        c.begin(req_id());
+        assert_eq!(c.offer(&resp(0, b"WRONG")), None);
+        assert_eq!(c.offer(&resp(1, b"right")), None);
+        assert_eq!(c.offer(&resp(2, b"right")), Some(b"right".to_vec()));
+    }
+
+    #[test]
+    fn duplicate_replica_votes_ignored() {
+        let mut c = ResponseCollector::new(2);
+        c.begin(req_id());
+        assert_eq!(c.offer(&resp(0, b"A")), None);
+        assert_eq!(c.offer(&resp(0, b"A")), None);
+        assert_eq!(c.responses_seen(), 1);
+    }
+
+    #[test]
+    fn stale_request_responses_ignored() {
+        let mut c = ResponseCollector::new(1);
+        c.begin(req_id());
+        let mut stale = resp(0, b"A");
+        stale.id = RequestId::new(ClientId(1), 6);
+        assert_eq!(c.offer(&stale), None);
+    }
+
+    #[test]
+    fn accepts_only_once() {
+        let mut c = ResponseCollector::new(1);
+        c.begin(req_id());
+        assert_eq!(c.offer(&resp(0, b"A")), Some(b"A".to_vec()));
+        assert_eq!(c.offer(&resp(1, b"A")), None);
+    }
+
+    #[test]
+    fn begin_resets_state() {
+        let mut c = ResponseCollector::new(2);
+        c.begin(req_id());
+        c.offer(&resp(0, b"A"));
+        c.begin(RequestId::new(ClientId(1), 8));
+        assert_eq!(c.responses_seen(), 0);
+        assert_eq!(c.accepted(), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+
+/// Errors produced while decoding wire-format bytes.
+///
+/// Byzantine peers may send arbitrary bytes, so every decoder is total and
+/// surfaces malformed input through this type instead of panicking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a complete value could be read.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were actually available.
+        available: usize,
+    },
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// The type being decoded.
+        ty: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// Input remained after a full value was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A container length field exceeded the hostile-input bound.
+    LengthOverflow {
+        /// The claimed length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} bytes, had {available}")
+            }
+            CodecError::BadTag { ty, tag } => write!(f, "invalid tag {tag} for {ty}"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            CodecError::LengthOverflow { len } => {
+                write!(f, "container length {len} exceeds hostile-input bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Errors surfaced by protocol state machines to their host runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A peer sent a message that fails the protocol's validity checks; the
+    /// peer is considered Byzantine and the message is discarded.
+    ByzantineMessage {
+        /// Human-readable reason used in logs and tests.
+        reason: String,
+    },
+    /// An operation referenced local state that has been garbage collected
+    /// (e.g. a slot below the last checkpoint).
+    OutOfWindow {
+        /// Description of the stale reference.
+        what: String,
+    },
+    /// Wire decoding failed.
+    Codec(CodecError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::ByzantineMessage { reason } => {
+                write!(f, "byzantine message: {reason}")
+            }
+            ProtocolError::OutOfWindow { what } => write!(f, "out of window: {what}"),
+            ProtocolError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ProtocolError {
+    fn from(e: CodecError) -> Self {
+        ProtocolError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(CodecError::Truncated { needed: 8, available: 2 }),
+            Box::new(CodecError::BadTag { ty: "bool", tag: 9 }),
+            Box::new(CodecError::TrailingBytes { remaining: 3 }),
+            Box::new(CodecError::LengthOverflow { len: 1 << 30 }),
+            Box::new(ProtocolError::ByzantineMessage { reason: "equivocation".into() }),
+            Box::new(ProtocolError::OutOfWindow { what: "slot 3".into() }),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(!first.is_uppercase(), "error message should not start uppercase: {s}");
+        }
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        let p: ProtocolError = CodecError::TrailingBytes { remaining: 1 }.into();
+        assert!(matches!(p, ProtocolError::Codec(_)));
+        assert!(std::error::Error::source(&p).is_some());
+    }
+}

@@ -1,0 +1,35 @@
+//! Leader failover: crash the leader mid-run and watch the view change
+//! elect a new one while every surviving replica stays consistent.
+//!
+//! ```sh
+//! cargo run --release --example crash_failover
+//! ```
+
+use ubft::runtime::cluster::Cluster;
+use ubft::runtime::SimConfig;
+use ubft_apps::FlipApp;
+use ubft_core::app::App;
+use ubft_core::PathMode;
+use ubft_sim::failure::FailurePlan;
+use ubft_types::{Duration, Time};
+
+fn main() {
+    let mut cfg = SimConfig::paper_default(5);
+    cfg.path = PathMode::FastWithFallback;
+    // The leader (replica 0) crashes 2 ms into the run.
+    cfg.failures =
+        FailurePlan::none().crash_replica(0, Time::ZERO + Duration::from_millis(2));
+    let apps: Vec<Box<dyn App>> =
+        (0..3).map(|_| Box::new(FlipApp::new()) as Box<dyn App>).collect();
+    let workload = Box::new(|i: u64| i.to_le_bytes().to_vec());
+    let mut cluster = Cluster::new(cfg, apps, workload);
+    let report = cluster.run(300, 0);
+    let mut lat = report.latency;
+    println!("requests completed across the leader crash: {}", report.completed);
+    println!("final views: {:?}", report.views);
+    println!("p50 {:>9}  max (failover blip) {:>9}", lat.median(), lat.max());
+    assert!(
+        report.views.iter().skip(1).any(|v| v.0 >= 1),
+        "surviving replicas should have moved past view 0"
+    );
+}

@@ -1,0 +1,73 @@
+//! Reproduction of **uBFT: Microsecond-Scale BFT using Disaggregated
+//! Memory** (Aguilera et al., ASPLOS 2023).
+//!
+//! uBFT is a state-machine-replication system that tolerates `f` Byzantine
+//! replicas with only `2f + 1` replicas, microsecond-scale latency, and
+//! practically bounded memory, using disaggregated memory as its only
+//! trusted component. This workspace rebuilds the complete system — the
+//! consensus engine, Consistent Tail Broadcast, reliable SWMR registers,
+//! the circular-buffer transport, an RDMA fabric model, and the Mu/MinBFT
+//! baselines — on a deterministic discrete-event simulator, so the paper's
+//! entire evaluation reproduces on a laptop from a seed.
+//!
+//! # Quickstart
+//!
+//! Replicate an application across three simulated replicas and measure
+//! end-to-end client latency on the signature-less fast path:
+//!
+//! ```
+//! use ubft::runtime::cluster::Cluster;
+//! use ubft::runtime::SimConfig;
+//! use ubft_apps::FlipApp;
+//! use ubft_core::app::App;
+//!
+//! let cfg = SimConfig::paper_default(42).fast_only();
+//! let apps: Vec<Box<dyn App>> =
+//!     (0..3).map(|_| Box::new(FlipApp::new()) as Box<dyn App>).collect();
+//! let workload = Box::new(|i: u64| i.to_le_bytes().to_vec());
+//!
+//! let mut cluster = Cluster::new(cfg, apps, workload);
+//! let report = cluster.run(100, 10);
+//! assert_eq!(report.completed, 110);
+//!
+//! let mut latency = report.latency;
+//! // Byzantine fault tolerance in ~9 virtual microseconds per request.
+//! assert!(latency.median() < ubft_types::Duration::from_micros(20));
+//! // The fast path never touches a signature.
+//! assert_eq!(report.counters.ctb_signs, 0);
+//! ```
+//!
+//! Inject failures — crashes, partitions, asynchrony, or Byzantine
+//! behaviour — through [`sim::failure::FailurePlan`] on the same config;
+//! see `tests/byzantine.rs` for the full fault-injection suite and
+//! `crates/bench` for the binaries that regenerate every table and figure
+//! of the paper's evaluation (documented in `EXPERIMENTS.md`).
+//!
+//! # Layer map
+//!
+//! | Module | Contents | Paper |
+//! |---|---|---|
+//! | [`types`] | ids, views, slots, virtual time, wire codec | — |
+//! | [`crypto`] | SHA-256, HMAC, checksums, signatures, f+1 certificates | §2.4 |
+//! | [`sim`] | event queue, RNG, latency/cost models, failure plans | Table 1 |
+//! | [`rdma`] | one-sided READ/WRITE fabric with per-region permissions | §2.3 |
+//! | [`dmem`] | reliable SWMR regular registers over memory nodes | §6.1 |
+//! | [`transport`] | ack-free circular-buffer channels, client RPC | §6.2 |
+//! | [`ctb`] | Tail Broadcast + Consistent Tail Broadcast (Algorithm 1) | §4 |
+//! | [`core`] | the uBFT SMR engine (Algorithms 2–5), client | §5, App. B |
+//! | [`apps`] | Flip, KV store, order-matching engine | §7.1 |
+//! | [`mu`], [`minbft`] | the crash-only and SGX-counter baselines | §7.2 |
+//! | [`runtime`] | the simulated deployment wiring everything together | §7 |
+
+pub use ubft_apps as apps;
+pub use ubft_core as core;
+pub use ubft_crypto as crypto;
+pub use ubft_ctb as ctb;
+pub use ubft_dmem as dmem;
+pub use ubft_minbft as minbft;
+pub use ubft_mu as mu;
+pub use ubft_rdma as rdma;
+pub use ubft_runtime as runtime;
+pub use ubft_sim as sim;
+pub use ubft_transport as transport;
+pub use ubft_types as types;

@@ -1,0 +1,260 @@
+//! Byzantine-behaviour and adverse-network integration tests.
+//!
+//! These exercise the safety claims the paper makes: with up to `f`
+//! Byzantine replicas and an eventually synchronous network, correct
+//! replicas never diverge (SMR agreement) and clients keep completing
+//! requests (liveness after GST). Every scenario is deterministic in its
+//! seed, so a failure here is a reproducible counterexample.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ubft::runtime::cluster::Cluster;
+use ubft::runtime::SimConfig;
+use ubft_apps::FlipApp;
+use ubft_core::app::App;
+use ubft_core::PathMode;
+use ubft_crypto::Digest;
+use ubft_sim::failure::{ByzantineMode, FailurePlan};
+use ubft_types::{Duration, Time};
+
+/// Shared per-replica execution logs, for prefix-consistency assertions.
+type Logs = Vec<Rc<RefCell<Vec<Vec<u8>>>>>;
+
+/// Wraps an [`App`] and records every executed request payload.
+struct RecordingApp {
+    inner: FlipApp,
+    log: Rc<RefCell<Vec<Vec<u8>>>>,
+}
+
+impl App for RecordingApp {
+    fn execute(&mut self, request: &[u8]) -> Vec<u8> {
+        self.log.borrow_mut().push(request.to_vec());
+        self.inner.execute(request)
+    }
+
+    fn snapshot_digest(&self) -> Digest {
+        self.inner.snapshot_digest()
+    }
+
+    fn execute_cost(&self, request: &[u8]) -> ubft_types::Duration {
+        self.inner.execute_cost(request)
+    }
+
+    fn name(&self) -> &'static str {
+        "recording-flip"
+    }
+}
+
+fn recording_apps(n: usize) -> (Vec<Box<dyn App>>, Logs) {
+    let logs: Logs = (0..n).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+    let apps = logs
+        .iter()
+        .map(|log| {
+            Box::new(RecordingApp { inner: FlipApp::new(), log: Rc::clone(log) })
+                as Box<dyn App>
+        })
+        .collect();
+    (apps, logs)
+}
+
+fn payload(size: usize) -> Box<dyn FnMut(u64) -> Vec<u8>> {
+    Box::new(move |i| {
+        let mut p = vec![0u8; size];
+        let k = 8.min(size);
+        p[..k].copy_from_slice(&i.to_le_bytes()[..k]);
+        p
+    })
+}
+
+/// SMR agreement: for every pair of correct replicas, one execution log is a
+/// prefix of the other (they apply the same requests in the same order; one
+/// may lag).
+fn assert_prefix_consistent(logs: &Logs, correct: &[usize]) {
+    for (i, &a) in correct.iter().enumerate() {
+        for &b in &correct[i + 1..] {
+            let la = logs[a].borrow();
+            let lb = logs[b].borrow();
+            let n = la.len().min(lb.len());
+            assert_eq!(
+                la[..n],
+                lb[..n],
+                "replicas {a} and {b} diverge within their common prefix"
+            );
+        }
+    }
+}
+
+fn us(n: u64) -> Time {
+    Time::ZERO + Duration::from_micros(n)
+}
+
+#[test]
+fn equivocating_leader_cannot_violate_agreement() {
+    let mut cfg = SimConfig::paper_default(21);
+    cfg.path = PathMode::FastWithFallback;
+    cfg.failures =
+        FailurePlan::none().byzantine(0, ByzantineMode::EquivocateProposals, Time::ZERO);
+    let (apps, logs) = recording_apps(3);
+    let mut cluster = Cluster::new(cfg, apps, payload(32));
+    let report = cluster.run(40, 0);
+    assert_eq!(report.completed, 40);
+    // The equivocating fast path can never reach unanimity, so requests
+    // decide through the signed slow path (or a view change).
+    assert!(report.counters.engine_signs > 0);
+    // Replicas 1 and 2 are correct; their logs must agree.
+    assert_prefix_consistent(&logs, &[1, 2]);
+}
+
+#[test]
+fn censoring_leader_is_voted_out() {
+    let mut cfg = SimConfig::paper_default(22);
+    cfg.path = PathMode::FastWithFallback;
+    cfg.failures =
+        FailurePlan::none().byzantine(0, ByzantineMode::CensorRequests, Time::ZERO);
+    let (apps, logs) = recording_apps(3);
+    let mut cluster = Cluster::new(cfg, apps, payload(32));
+    let report = cluster.run(30, 0);
+    assert_eq!(report.completed, 30);
+    // The censoring leader of view 0 never proposes; the survivors must
+    // have moved past its view to decide anything.
+    assert!(report.views[1].0 >= 1, "follower 1 stuck in the censored view");
+    assert!(report.views[2].0 >= 1, "follower 2 stuck in the censored view");
+    assert_prefix_consistent(&logs, &[1, 2]);
+}
+
+#[test]
+fn silent_replica_is_no_worse_than_a_crash() {
+    let mut cfg = SimConfig::paper_default(23);
+    cfg.path = PathMode::FastWithFallback;
+    cfg.failures = FailurePlan::none().byzantine(2, ByzantineMode::Silent, us(100));
+    let (apps, logs) = recording_apps(3);
+    let mut cluster = Cluster::new(cfg, apps, payload(32));
+    let report = cluster.run(40, 0);
+    assert_eq!(report.completed, 40);
+    // A mute follower breaks fast-path unanimity: the slow path signs.
+    assert!(report.counters.ctb_signs > 0);
+    assert_prefix_consistent(&logs, &[0, 1]);
+}
+
+#[test]
+fn corrupt_registers_cannot_block_slow_path() {
+    let mut cfg = SimConfig::paper_default(24).slow_only();
+    cfg.failures =
+        FailurePlan::none().byzantine(1, ByzantineMode::CorruptRegisters, Time::ZERO);
+    let (apps, logs) = recording_apps(3);
+    let mut cluster = Cluster::new(cfg, apps, payload(32));
+    let report = cluster.run(30, 5);
+    // Every slow-path delivery reads replica 1's garbled register entries,
+    // must fail their signature check, and deliver anyway (§6.1).
+    assert_eq!(report.completed, 35);
+    assert!(report.counters.reg_reads > 0);
+    assert_prefix_consistent(&logs, &[0, 2]);
+}
+
+#[test]
+fn laggard_replica_slows_but_does_not_stop_the_fast_path() {
+    let healthy = {
+        let cfg = SimConfig::paper_default(25).fast_only();
+        let (apps, _) = recording_apps(3);
+        Cluster::new(cfg, apps, payload(32)).run(50, 5)
+    };
+    let mut cfg = SimConfig::paper_default(25);
+    cfg.path = PathMode::FastWithFallback;
+    cfg.failures = FailurePlan::none().byzantine(2, ByzantineMode::Laggard, Time::ZERO);
+    let (apps, logs) = recording_apps(3);
+    let mut cluster = Cluster::new(cfg, apps, payload(32));
+    let report = cluster.run(50, 5);
+    assert_eq!(report.completed, 55);
+    let (mut h, mut l) = (healthy.latency, report.latency);
+    assert!(
+        l.median() > h.median(),
+        "a 50 µs laggard must show up in the median: healthy {} vs laggard {}",
+        h.median(),
+        l.median()
+    );
+    assert_prefix_consistent(&logs, &[0, 1]);
+}
+
+#[test]
+fn partition_stalls_one_follower_but_not_the_service() {
+    let mut cfg = SimConfig::paper_default(26);
+    cfg.path = PathMode::FastWithFallback;
+    // Leader 0 and follower 2 cannot talk for ~3 ms; the client and the
+    // memory nodes are unaffected. f+1 = 2 connected replicas keep serving.
+    cfg.failures = FailurePlan::none().partition(0, 2, us(50), us(3_000));
+    let (apps, logs) = recording_apps(3);
+    let mut cluster = Cluster::new(cfg, apps, payload(32));
+    let report = cluster.run(40, 0);
+    assert_eq!(report.completed, 40);
+    assert_prefix_consistent(&logs, &[0, 1, 2]);
+}
+
+#[test]
+fn partition_heals_and_straggler_catches_up() {
+    let mut cfg = SimConfig::paper_default(27);
+    cfg.path = PathMode::FastWithFallback;
+    // Short partition early in the run; after it heals, TBcast
+    // retransmission must bring replica 2 back without manual recovery.
+    cfg.failures = FailurePlan::none().partition(0, 2, us(50), us(800));
+    let (apps, logs) = recording_apps(3);
+    let mut cluster = Cluster::new(cfg, apps, payload(32));
+    let report = cluster.run(60, 0);
+    assert_eq!(report.completed, 60);
+    assert_prefix_consistent(&logs, &[0, 1, 2]);
+    // The healed follower must have executed most of the log, not just the
+    // pre-partition prefix.
+    let healed = logs[2].borrow().len();
+    assert!(healed >= 40, "replica 2 only executed {healed}/60 after healing");
+}
+
+#[test]
+fn pre_gst_asynchrony_does_not_violate_safety() {
+    let mut cfg = SimConfig::paper_default(28);
+    cfg.path = PathMode::FastWithFallback;
+    // Until GST at 2 ms every hop may take up to 300 µs extra: timeouts
+    // misfire, the slow path and view changes kick in spuriously. Safety
+    // must hold throughout and liveness must return after GST.
+    cfg.failures =
+        FailurePlan::none().with_asynchrony(us(2_000), Duration::from_micros(300));
+    let (apps, logs) = recording_apps(3);
+    let mut cluster = Cluster::new(cfg, apps, payload(32));
+    let report = cluster.run(80, 0);
+    assert_eq!(report.completed, 80);
+    assert_prefix_consistent(&logs, &[0, 1, 2]);
+}
+
+#[test]
+fn five_replicas_tolerate_one_byzantine_and_one_crash() {
+    let mut cfg = SimConfig::paper_default(29);
+    cfg.path = PathMode::FastWithFallback;
+    cfg.params = cfg.params.with_f(2);
+    cfg.failures = FailurePlan::none()
+        .byzantine(3, ByzantineMode::Silent, us(50))
+        .crash_replica(4, us(150));
+    let (apps, logs) = recording_apps(5);
+    let mut cluster = Cluster::new(cfg, apps, payload(32));
+    let report = cluster.run(30, 0);
+    assert_eq!(report.completed, 30);
+    assert_prefix_consistent(&logs, &[0, 1, 2]);
+}
+
+#[test]
+fn agreement_holds_across_random_crash_schedules() {
+    // A miniature search over crash timings: whichever replica crashes and
+    // whenever it does, the survivors' logs never diverge and the client
+    // finishes. Each seed is an independent, reproducible schedule.
+    for seed in 0..6u64 {
+        let victim = (seed % 3) as usize;
+        let crash_at = us(40 + 137 * seed);
+        let mut cfg = SimConfig::paper_default(1_000 + seed);
+        cfg.path = PathMode::FastWithFallback;
+        cfg.failures = FailurePlan::none().crash_replica(victim, crash_at);
+        let (apps, logs) = recording_apps(3);
+        let mut cluster = Cluster::new(cfg, apps, payload(32));
+        let report = cluster.run(50, 0);
+        assert_eq!(report.completed, 50, "seed {seed}: stalled");
+        let correct: Vec<usize> = (0..3).filter(|r| *r != victim).collect();
+        assert_prefix_consistent(&logs, &correct);
+    }
+}
