@@ -361,9 +361,8 @@ mod tests {
 
     #[test]
     fn deterministic_replay() {
-        let ops: Vec<Vec<u8>> = (0..50)
-            .map(|i| if i % 3 == 0 { sell(100 + i, 2) } else { buy(98 + i, 3) })
-            .collect();
+        let ops: Vec<Vec<u8>> =
+            (0..50).map(|i| if i % 3 == 0 { sell(100 + i, 2) } else { buy(98 + i, 3) }).collect();
         let mut a = OrderBookApp::new();
         let mut b = OrderBookApp::new();
         for op in &ops {

@@ -45,11 +45,7 @@ pub fn kv_request(rng: &mut WorkloadRng, populated: &mut u64) -> Vec<u8> {
     if is_get && *populated > 0 {
         // 80% of GETs target an existing key.
         let hit = rng.range(100) < 80;
-        let key_id = if hit {
-            rng.range(*populated)
-        } else {
-            *populated + rng.range(1000)
-        };
+        let key_id = if hit { rng.range(*populated) } else { *populated + rng.range(1000) };
         KvOp::Get { key: key_bytes(key_id) }.to_bytes()
     } else {
         let key_id = *populated;

@@ -30,13 +30,8 @@ fn bench_registers(c: &mut Criterion) {
                 let net = NetworkModel::synchronous(LatencyModel::paper_testbed(), 6);
                 let mut fabric = Fabric::new(net, SimRng::new(1));
                 let mems = [HostId(3), HostId(4), HostId(5)];
-                let bank = RegisterBank::create(
-                    &mut fabric,
-                    &mems,
-                    4,
-                    72,
-                    Duration::from_micros(10),
-                );
+                let bank =
+                    RegisterBank::create(&mut fabric, &mems, 4, 72, Duration::from_micros(10));
                 (fabric, bank.writer(), bank.reader())
             },
             |(mut fabric, mut w, r)| {
@@ -57,8 +52,11 @@ fn bench_channel(c: &mut Criterion) {
             || {
                 let net = NetworkModel::synchronous(LatencyModel::paper_testbed(), 2);
                 let mut fabric = Fabric::new(net, SimRng::new(2));
-                let (mut tx, rx) =
-                    create_channel(&mut fabric, HostId(1), ChannelSpec { slots: 16, slot_payload: 256 });
+                let (mut tx, rx) = create_channel(
+                    &mut fabric,
+                    HostId(1),
+                    ChannelSpec { slots: 16, slot_payload: 256 },
+                );
                 tx.bind_issuer(HostId(0));
                 (fabric, tx, rx)
             },

@@ -100,7 +100,13 @@ pub fn fig7(samples: u64) -> String {
         let mut cells = Vec::new();
 
         let mut a = make_apps(app, 1).pop().expect("one app");
-        let mut s = baselines::run_unreplicated(&cfg, a.as_mut(), make_workload(app, size), samples, WARMUP);
+        let mut s = baselines::run_unreplicated(
+            &cfg,
+            a.as_mut(),
+            make_workload(app, size),
+            samples,
+            WARMUP,
+        );
         cells.push(cell("unreplicated", &mut s));
 
         let mut a = make_apps(app, 1).pop().expect("one app");
@@ -131,12 +137,18 @@ pub fn fig8(samples: u64) -> String {
     for &size in &sizes {
         let cfg = SimConfig::paper_default(SEED).with_max_request(size.max(64));
         let mut a = NoopApp::new();
-        let unrepl =
-            us(baselines::run_unreplicated(&cfg, &mut a, make_workload("noop", size), samples, WARMUP)
-                .median());
+        let unrepl = us(baselines::run_unreplicated(
+            &cfg,
+            &mut a,
+            make_workload("noop", size),
+            samples,
+            WARMUP,
+        )
+        .median());
         let mut a = NoopApp::new();
-        let mu = us(baselines::run_mu(&cfg, &mut a, make_workload("noop", size), samples, WARMUP)
-            .median());
+        let mu =
+            us(baselines::run_mu(&cfg, &mut a, make_workload("noop", size), samples, WARMUP)
+                .median());
         let fast = us(run_ubft(
             "noop",
             size,
@@ -285,10 +297,8 @@ pub fn fig11(samples: u64) -> String {
     );
     for &size in &[64usize, 2048] {
         for &t in &[16usize, 32, 64, 128] {
-            let cfg = SimConfig::paper_default(SEED)
-                .fast_only()
-                .with_tail(t)
-                .with_max_request(size);
+            let cfg =
+                SimConfig::paper_default(SEED).fast_only().with_tail(t).with_max_request(size);
             let mut stats = run_ubft("noop", size, samples, cfg);
             out.push_str(&format!(
                 "{:>5} {:>3} {:>7.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
@@ -313,10 +323,8 @@ pub fn table2() -> String {
     );
     for &size in &[64usize, 2048] {
         for &t in &[16usize, 32, 64, 128] {
-            let cfg = SimConfig::paper_default(SEED)
-                .fast_only()
-                .with_tail(t)
-                .with_max_request(size);
+            let cfg =
+                SimConfig::paper_default(SEED).fast_only().with_tail(t).with_max_request(size);
             let n = cfg.params.n();
             let cluster = Cluster::new(cfg, make_apps("noop", n), make_workload("noop", size));
             let mem = MemoryReport::measure(&cluster);
@@ -459,15 +467,13 @@ pub fn ablation_summary(samples: u64) -> String {
 pub fn throughput(samples: u64) -> String {
     let mut out = String::from("# Throughput (closed loop, 32 B requests)\n");
     for n_clients in [1usize, 2] {
-        let cfg = SimConfig::paper_default(SEED)
-            .fast_only()
-            .with_max_request(64)
-            .with_clients(n_clients);
+        let cfg =
+            SimConfig::paper_default(SEED).fast_only().with_max_request(64).with_clients(n_clients);
         let n = cfg.params.n();
-        let mut cluster =
-            Cluster::new(cfg, make_apps("noop", n), make_workload("noop", 32));
+        let mut cluster = Cluster::new(cfg, make_apps("noop", n), make_workload("noop", 32));
         let report = cluster.run(samples, WARMUP);
-        let kops = report.completed as f64 / report.end.since(ubft_types::Time::ZERO).as_micros_f64()
+        let kops = report.completed as f64
+            / report.end.since(ubft_types::Time::ZERO).as_micros_f64()
             * 1_000.0;
         let mut lat = report.latency;
         out.push_str(&format!(

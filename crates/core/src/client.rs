@@ -115,11 +115,7 @@ mod tests {
     }
 
     fn reply(c: &Client, replica: u32, payload: &[u8]) -> Reply {
-        Reply {
-            id: c.in_flight().unwrap(),
-            replica: ReplicaId(replica),
-            payload: payload.to_vec(),
-        }
+        Reply { id: c.in_flight().unwrap(), replica: ReplicaId(replica), payload: payload.to_vec() }
     }
 
     #[test]

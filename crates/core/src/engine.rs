@@ -554,7 +554,7 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn already_executed(&self, id: &RequestId) -> bool {
-        self.last_exec_seq.get(&id.client).is_some_and(|hi| *hi >= id.seq + 1)
+        self.last_exec_seq.get(&id.client).is_some_and(|hi| *hi > id.seq)
     }
 
     /// A client request arrived directly at this replica.
@@ -621,8 +621,7 @@ impl Engine {
         // before the leader proposes; the EchoFallback timer covers
         // Byzantine silence. After a view change the echo requirement is
         // dropped (followers accept re-proposals without direct receipt).
-        let enough_echoes =
-            !self.cfg.echo_round || echoes >= self.n() - 1 || self.view > View(0);
+        let enough_echoes = !self.cfg.echo_round || echoes >= self.n() - 1 || self.view > View(0);
         if have_direct && enough_echoes {
             self.proposed.insert(id);
             let req = self.seen_requests.get(&id).cloned().expect("have_direct");
@@ -641,7 +640,8 @@ impl Engine {
         }
         // Algorithm 2 line 15: only into open slots; NEW_VIEW must have been
         // broadcast first in views > 0 (ensured by `enter_view_as_leader`).
-        let (lo, hi) = (self.checkpoint.data.base, Slot(self.checkpoint.data.base.0 + self.window() as u64));
+        let (lo, hi) =
+            (self.checkpoint.data.base, Slot(self.checkpoint.data.base.0 + self.window() as u64));
         if self.next_slot < lo {
             self.next_slot = lo;
         }
@@ -733,7 +733,7 @@ impl Engine {
             CtbMsg::NewView { view, certs } => self.handle_new_view(stream, view, certs, fx),
         }
         // Algorithm 4 line 1: summary shares at every boundary.
-        if k.0 % self.cfg.summary_half == 0 {
+        if k.0.is_multiple_of(self.cfg.summary_half) {
             let ps = self.state.get(&stream).expect("known");
             let summary = ps.summary();
             let digest = summary.digest();
@@ -774,7 +774,10 @@ impl Engine {
                     };
                     if let Some(required) = must_propose(prep.slot, &certs) {
                         if required.digest() != prep.req.digest() {
-                            return Err(format!("prepare for {} ignores committed value", prep.slot));
+                            return Err(format!(
+                                "prepare for {} ignores committed value",
+                                prep.slot
+                            ));
                         }
                     }
                 }
@@ -791,11 +794,10 @@ impl Engine {
                 // The certificate itself: f+1 valid signatures over the
                 // prepare. Verified lazily unless we certified it ourselves.
                 let bytes = c.prepare.certify_bytes();
-                let own = self
-                    .slots
-                    .get(&c.prepare.slot)
-                    .and_then(|s| s.prepare.as_ref())
-                    .is_some_and(|pp| pp.digest_eq(&c.prepare) && self.slot_cert_complete(c.prepare.slot));
+                let own =
+                    self.slots.get(&c.prepare.slot).and_then(|s| s.prepare.as_ref()).is_some_and(
+                        |pp| pp.digest_eq(&c.prepare) && self.slot_cert_complete(c.prepare.slot),
+                    );
                 if !own && !self.verify_cert(&c.cert.clone(), &bytes, self.quorum()) {
                     return Err("commit with invalid certificate".into());
                 }
@@ -1008,7 +1010,7 @@ impl Engine {
         from: ReplicaId,
         prepare: Prepare,
         sig: ubft_crypto::Signature,
-        ) -> Vec<Effect> {
+    ) -> Vec<Effect> {
         let mut fx = Vec::new();
         let slot = prepare.slot;
         if prepare.view != self.view || !self.in_my_window(slot) {
@@ -1113,14 +1115,7 @@ impl Engine {
     }
 
     fn try_execute(&mut self, fx: &mut Vec<Effect>) {
-        loop {
-            let Some(req) = self
-                .slots
-                .get(&self.exec_next)
-                .and_then(|s| s.decided.clone())
-            else {
-                break;
-            };
+        while let Some(req) = self.slots.get(&self.exec_next).and_then(|s| s.decided.clone()) {
             self.outstanding.remove(&req.id);
             // A request re-proposed across views may occupy two slots; only
             // its first occurrence executes (PBFT-style last-reply dedup).
@@ -1178,10 +1173,7 @@ impl Engine {
             return fx;
         }
         let quorum = self.quorum();
-        let entry = self
-            .cp_shares
-            .entry((data.base, data.app_digest))
-            .or_insert_with(Certificate::new);
+        let entry = self.cp_shares.entry((data.base, data.app_digest)).or_default();
         entry.add(ProcessId::Replica(from), sig);
         if entry.count() >= quorum {
             let cert = entry.clone();
@@ -1194,7 +1186,12 @@ impl Engine {
         fx
     }
 
-    fn handle_checkpoint_msg(&mut self, stream: ReplicaId, c: CheckpointCert, fx: &mut Vec<Effect>) {
+    fn handle_checkpoint_msg(
+        &mut self,
+        stream: ReplicaId,
+        c: CheckpointCert,
+        fx: &mut Vec<Effect>,
+    ) {
         {
             let window = self.window();
             let ps = self.state.get_mut(&stream).expect("known");
@@ -1256,8 +1253,7 @@ impl Engine {
         if stream != self.me || upto.0 <= self.summary_done_upto {
             return Vec::new();
         }
-        if from != self.me && !self.verify(from, &summary_sign_bytes(stream, upto, &digest), &sig)
-        {
+        if from != self.me && !self.verify(from, &summary_sign_bytes(stream, upto, &digest), &sig) {
             return Vec::new();
         }
         self.accept_summary_share(from, upto, digest, sig)
@@ -1273,7 +1269,7 @@ impl Engine {
         let mut fx = Vec::new();
         let quorum = self.quorum();
         let per_digest = self.summary_shares.entry(upto.0).or_default();
-        let cert = per_digest.entry(digest).or_insert_with(Certificate::new);
+        let cert = per_digest.entry(digest).or_default();
         cert.add(ProcessId::Replica(from), sig);
         if cert.count() >= quorum && upto.0 > self.summary_done_upto {
             let cert = cert.clone();
@@ -1332,10 +1328,7 @@ impl Engine {
     fn has_pending_work(&self) -> bool {
         !self.outstanding.is_empty()
             || !self.propose_queue.is_empty()
-            || self
-                .slots
-                .values()
-                .any(|s| s.prepare.is_some() && s.decided.is_none())
+            || self.slots.values().any(|s| s.prepare.is_some() && s.decided.is_none())
     }
 
     /// Multiplier for the progress-watchdog period: doubles with every
@@ -1371,10 +1364,8 @@ impl Engine {
     fn check_seal_ready(&mut self) -> Vec<Effect> {
         let mut fx = Vec::new();
         let Some(next) = self.sealing else { return fx };
-        let outstanding = self
-            .slots
-            .values()
-            .any(|s| s.promised_in == Some(self.view) && !s.sent_commit);
+        let outstanding =
+            self.slots.values().any(|s| s.promised_in == Some(self.view) && !s.sent_commit);
         if outstanding {
             return fx;
         }
@@ -1426,11 +1417,8 @@ impl Engine {
         }
         // Follow the majority into the new view: if we observe a quorum of
         // seals for views above ours, join them.
-        let seals = self
-            .state
-            .values()
-            .filter(|ps| ps.seal_view.is_some_and(|v| v > self.view))
-            .count();
+        let seals =
+            self.state.values().filter(|ps| ps.seal_view.is_some_and(|v| v > self.view)).count();
         if seals >= self.quorum() && self.sealing.is_none() && view > self.view {
             fx.extend(self.change_view());
         }
@@ -1456,9 +1444,7 @@ impl Engine {
         // Shares for views we can no longer lead are dead weight.
         self.vc_shares.retain(|(v, _), _| *v >= self.view);
         let per_digest = self.vc_shares.entry((view, about)).or_default();
-        let (_, cert) = per_digest
-            .entry(digest)
-            .or_insert_with(|| (summary, Certificate::new()));
+        let (_, cert) = per_digest.entry(digest).or_insert_with(|| (summary, Certificate::new()));
         cert.add(ProcessId::Replica(from), sig);
         // Line 13: f+1 matching shares about f+1 distinct replicas, all
         // signed for exactly this view.
@@ -1475,8 +1461,7 @@ impl Engine {
                 })
             })
             .collect();
-        if complete.len() >= quorum && self.new_view_broadcast != Some(view) && view >= self.view
-        {
+        if complete.len() >= quorum && self.new_view_broadcast != Some(view) && view >= self.view {
             fx.extend(self.enter_view_as_leader(view, complete));
         }
         fx
@@ -1505,20 +1490,16 @@ impl Engine {
         }
         self.emit_ctb(&mut fx, CtbMsg::NewView { view, certs: certs.clone() });
         // Line 16: adopt the highest checkpoint in the certificates.
-        let highest = certs
-            .iter()
-            .filter_map(|c| c.summary.checkpoint.clone())
-            .max_by_key(|cp| cp.data.base);
+        let highest =
+            certs.iter().filter_map(|c| c.summary.checkpoint.clone()).max_by_key(|cp| cp.data.base);
         if let Some(cp) = highest {
             fx.extend(self.adopt_checkpoint(cp));
         }
         // Lines 17–19: re-propose constrained slots across the open window,
         // up to the highest slot any certificate committed.
         let base = self.checkpoint.data.base;
-        let max_committed = certs
-            .iter()
-            .flat_map(|c| c.summary.commits.iter().map(|(s, _)| *s))
-            .max();
+        let max_committed =
+            certs.iter().flat_map(|c| c.summary.commits.iter().map(|(s, _)| *s)).max();
         self.vc_shares.clear();
         if let Some(hi) = max_committed {
             for s in base.0..=hi.0 {
@@ -1613,10 +1594,8 @@ impl Engine {
                 }
             }
         }
-        let highest = certs
-            .iter()
-            .filter_map(|c| c.summary.checkpoint.clone())
-            .max_by_key(|cp| cp.data.base);
+        let highest =
+            certs.iter().filter_map(|c| c.summary.checkpoint.clone()).max_by_key(|cp| cp.data.base);
         if let Some(cp) = highest {
             fx.extend(self.adopt_checkpoint(cp));
         }
@@ -1669,11 +1648,7 @@ pub fn must_propose(slot: Slot, certs: &[VcCert]) -> Option<Request> {
     certs
         .iter()
         .filter_map(|c| {
-            c.summary
-                .commits
-                .iter()
-                .find(|(s, _)| *s == slot)
-                .map(|(_, commit)| commit)
+            c.summary.commits.iter().find(|(s, _)| *s == slot).map(|(_, commit)| commit)
         })
         .max_by_key(|commit| commit.prepare.view)
         .map(|commit| commit.prepare.req.clone())

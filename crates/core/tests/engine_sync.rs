@@ -39,12 +39,11 @@ impl Net {
 
     fn with_params(path: PathMode, params: ClusterParams) -> Self {
         let n = params.n();
-        let ring = KeyRing::generate(
-            5,
-            (0..n as u32).map(|i| ProcessId::Replica(ReplicaId(i))),
-        );
+        let ring = KeyRing::generate(5, (0..n as u32).map(|i| ProcessId::Replica(ReplicaId(i))));
         let engines: Vec<Engine> = (0..n as u32)
-            .map(|i| Engine::new(ReplicaId(i), EngineConfig::new(params.clone(), path), ring.clone()))
+            .map(|i| {
+                Engine::new(ReplicaId(i), EngineConfig::new(params.clone(), path), ring.clone())
+            })
             .collect();
         let mut net = Net {
             engines,
@@ -92,7 +91,8 @@ impl Net {
                         if self.crashed[r] {
                             continue;
                         }
-                        let fx = self.engines[r].on_ctb_deliver(ReplicaId(who as u32), k, msg.clone());
+                        let fx =
+                            self.engines[r].on_ctb_deliver(ReplicaId(who as u32), k, msg.clone());
                         self.enqueue(r, fx);
                     }
                 }
@@ -174,11 +174,7 @@ impl Net {
     }
 
     fn assert_executed_prefix_agreement(&self) {
-        let longest = self
-            .live_replicas()
-            .map(|r| self.executed[r].len())
-            .max()
-            .unwrap_or(0);
+        let longest = self.live_replicas().map(|r| self.executed[r].len()).max().unwrap_or(0);
         for len in 0..longest {
             let mut vals: Vec<&(Slot, Request)> = Vec::new();
             for r in self.live_replicas() {
@@ -340,16 +336,10 @@ fn view_change_preserves_decided_requests() {
 fn equivocation_report_brands_stream() {
     let mut net = Net::new(PathMode::FastOnly);
     let fx = net.engines[1].on_ctb_equivocation(ReplicaId(0), SeqId(1));
-    assert!(matches!(
-        &fx[..],
-        [Effect::ByzantineDetected { replica: ReplicaId(0), .. }]
-    ));
+    assert!(matches!(&fx[..], [Effect::ByzantineDetected { replica: ReplicaId(0), .. }]));
     // Subsequent messages from the branded stream are dropped.
-    let fx = net.engines[1].on_ctb_deliver(
-        ReplicaId(0),
-        SeqId(1),
-        CtbMsg::SealView { view: View(1) },
-    );
+    let fx =
+        net.engines[1].on_ctb_deliver(ReplicaId(0), SeqId(1), CtbMsg::SealView { view: View(1) });
     assert!(fx.is_empty());
 }
 
@@ -506,9 +496,8 @@ fn leader_entering_view_on_certificates_seals_first() {
     assert_eq!(net.engines[1].view(), View(1), "replica 1 should lead view 1");
     let r1_stream: Vec<&CtbMsg> =
         net.ctb_log.iter().filter(|(s, _)| *s == 1).map(|(_, m)| m).collect();
-    let seal = r1_stream
-        .iter()
-        .position(|m| matches!(m, CtbMsg::SealView { view } if *view == View(1)));
+    let seal =
+        r1_stream.iter().position(|m| matches!(m, CtbMsg::SealView { view } if *view == View(1)));
     let nv = r1_stream
         .iter()
         .position(|m| matches!(m, CtbMsg::NewView { view, .. } if *view == View(1)));

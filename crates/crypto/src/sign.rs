@@ -163,11 +163,7 @@ impl Certificate {
 impl Wire for Certificate {
     fn encode(&self, buf: &mut Vec<u8>) {
         encode_seq(
-            &self
-                .shares
-                .iter()
-                .map(|(p, s)| Share { p: *p, s: *s })
-                .collect::<Vec<_>>(),
+            &self.shares.iter().map(|(p, s)| Share { p: *p, s: *s }).collect::<Vec<_>>(),
             buf,
         );
     }

@@ -73,11 +73,7 @@ impl Wire for RegEntry {
         self.sig.encode(buf);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
-        Ok(RegEntry {
-            k: SeqId::decode(r)?,
-            fp: Digest::decode(r)?,
-            sig: Signature::decode(r)?,
-        })
+        Ok(RegEntry { k: SeqId::decode(r)?, fp: Digest::decode(r)?, sig: Signature::decode(r)? })
     }
 }
 
@@ -359,7 +355,7 @@ impl Ctb {
         let fp = fingerprint(&m);
         self.cache_payload(k, fp, &m);
         let slot = self.slot(k);
-        let newer = self.locks[slot].map_or(true, |(k2, _)| k > k2);
+        let newer = self.locks[slot].is_none_or(|(k2, _)| k > k2);
         let mut fx = Vec::new();
         if newer {
             self.locks[slot] = Some((k, fp));
@@ -378,16 +374,13 @@ impl Ctb {
         let fp = fingerprint(&m);
         self.cache_payload(k, fp, &m);
         let slot = self.slot(k);
-        let newer = self.locked[q][slot].map_or(true, |(k2, _)| k > k2);
+        let newer = self.locked[q][slot].is_none_or(|(k2, _)| k > k2);
         if !newer {
             return Vec::new();
         }
         self.locked[q][slot] = Some((k, fp));
         // Line 22: unanimity across all n receivers.
-        let unanimous = self
-            .locked
-            .iter()
-            .all(|row| row[slot] == Some((k, fp)));
+        let unanimous = self.locked.iter().all(|row| row[slot] == Some((k, fp)));
         if unanimous {
             self.deliver_once(k, fp)
         } else {
@@ -396,7 +389,13 @@ impl Ctb {
     }
 
     /// Lines 25–26: stage the signed message for async verification.
-    fn on_signed(&mut self, from: ReplicaId, k: SeqId, m: Vec<u8>, sig: Signature) -> Vec<CtbEffect> {
+    fn on_signed(
+        &mut self,
+        from: ReplicaId,
+        k: SeqId,
+        m: Vec<u8>,
+        sig: Signature,
+    ) -> Vec<CtbEffect> {
         if from != self.stream {
             return Vec::new();
         }
@@ -632,10 +631,8 @@ mod tests {
         fn new(cfg: CtbConfig) -> Self {
             let replicas: Vec<ReplicaId> = (0..N as u32).map(rid).collect();
             let stream = rid(0);
-            let ctbs = replicas
-                .iter()
-                .map(|&me| Ctb::new(me, stream, replicas.clone(), cfg))
-                .collect();
+            let ctbs =
+                replicas.iter().map(|&me| Ctb::new(me, stream, replicas.clone(), cfg)).collect();
             Harness {
                 ctbs,
                 ring: ring(),
@@ -662,8 +659,7 @@ mod tests {
                         }
                     }
                     CtbEffect::Sign { k, fp } => {
-                        let signer =
-                            self.ring.signer(ProcessId::Replica(rid(who as u32))).unwrap();
+                        let signer = self.ring.signer(ProcessId::Replica(rid(who as u32))).unwrap();
                         let sig = signer.sign(&signed_bytes(self.stream, k, &fp));
                         let out = self.ctbs[who].on_sign_done(k, sig);
                         queue.extend(out.into_iter().map(|e| (who, e)));
@@ -812,11 +808,8 @@ mod tests {
         let fp = fingerprint(&m);
         let sig = signer.sign(&signed_bytes(rid(0), k, &fp));
         // r2 plants a forged conflicting entry.
-        h.registers[2][k.ring_index(T)] = Some(RegEntry {
-            k,
-            fp: fingerprint(b"fake"),
-            sig: Signature::garbage(),
-        });
+        h.registers[2][k.ring_index(T)] =
+            Some(RegEntry { k, fp: fingerprint(b"fake"), sig: Signature::garbage() });
         let out = h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Signed { k, m: m.clone(), sig });
         h.run(out.into_iter().map(|e| (1usize, e)).collect());
         assert_eq!(h.delivered[1], vec![(k, m)]);
@@ -838,8 +831,7 @@ mod tests {
         let fp_new = fingerprint(&m_new);
         let sig_new = signer.sign(&signed_bytes(rid(0), new_k, &fp_new));
         // r2 already processed new_k: its register holds the newer entry.
-        h.registers[2][new_k.ring_index(T)] =
-            Some(RegEntry { k: new_k, fp: fp_new, sig: sig_new });
+        h.registers[2][new_k.ring_index(T)] = Some(RegEntry { k: new_k, fp: fp_new, sig: sig_new });
         let sig_old = signer.sign(&signed_bytes(rid(0), old_k, &fingerprint(&m_old)));
         let out =
             h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Signed { k: old_k, m: m_old, sig: sig_old });

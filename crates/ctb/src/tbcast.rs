@@ -257,10 +257,9 @@ mod tests {
         assert_eq!(k, SeqId(1));
         let sends = fx.iter().filter(|e| matches!(e, TbEffect::SendTo { .. })).count();
         assert_eq!(sends, 2);
-        assert!(fx.iter().any(|e| matches!(
-            e,
-            TbEffect::Deliver { from: ReplicaId(0), k: SeqId(1), .. }
-        )));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, TbEffect::Deliver { from: ReplicaId(0), k: SeqId(1), .. })));
     }
 
     #[test]

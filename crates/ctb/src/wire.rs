@@ -163,11 +163,7 @@ mod tests {
         roundtrip(&TbFrame::Ack(TbAck { upto: SeqId(4) }));
         roundtrip(&CtbWire::Lock { k: SeqId(1), m: b"m".to_vec() });
         roundtrip(&CtbWire::Locked { k: SeqId(2), m: b"m".to_vec() });
-        roundtrip(&CtbWire::Signed {
-            k: SeqId(3),
-            m: b"m".to_vec(),
-            sig: Signature::garbage(),
-        });
+        roundtrip(&CtbWire::Signed { k: SeqId(3), m: b"m".to_vec(), sig: Signature::garbage() });
     }
 
     #[test]

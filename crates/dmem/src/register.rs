@@ -176,11 +176,8 @@ impl RegisterWriter {
         let r = &self.replicas[reg.0];
         assert!(value.len() <= r.value_size, "value exceeds register size");
 
-        let start = if honor_cooldown && now < self.ready_at[reg.0] {
-            self.ready_at[reg.0]
-        } else {
-            now
-        };
+        let start =
+            if honor_cooldown && now < self.ready_at[reg.0] { self.ready_at[reg.0] } else { now };
 
         // Frame: checksum(ts || value) | ts | value (zero-padded).
         let mut frame = vec![0u8; r.sub_size()];
@@ -312,7 +309,7 @@ impl RegisterReader {
                 }
             }
             for v in [va, vb].into_iter().flatten() {
-                if best.as_ref().map_or(true, |(bt, _)| v.0 > *bt) {
+                if best.as_ref().is_none_or(|(bt, _)| v.0 > *bt) {
                     best = Some(v);
                 }
             }
@@ -425,9 +422,8 @@ mod tests {
         let mut w = bank.writer();
         let r = bank.reader();
         let d1 = w.write_corrupt(&mut f, HostId(0), RegisterId(0), 1, b"junk", t(0)).unwrap();
-        let d2 = w
-            .write_corrupt(&mut f, HostId(0), RegisterId(0), 2, b"junk", d1 + delta())
-            .unwrap();
+        let d2 =
+            w.write_corrupt(&mut f, HostId(0), RegisterId(0), 2, b"junk", d1 + delta()).unwrap();
         match r.read(&mut f, HostId(1), RegisterId(0), d2 + delta()) {
             ReadOutcome::WriterByzantine { .. } => {}
             other => panic!("unexpected outcome: {other:?}"),

@@ -37,7 +37,7 @@ proptest! {
             done = w
                 .write(&mut fabric, HostId(0), RegisterId(0), ts, &ts.to_le_bytes(), now)
                 .expect("quorum write");
-            now = now + Duration::from_micros(gap_us);
+            now += Duration::from_micros(gap_us);
         }
         let read_at = done + Duration::from_micros(gap_us);
         match r.read(&mut fabric, HostId(1), RegisterId(0), read_at) {

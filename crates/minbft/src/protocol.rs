@@ -120,9 +120,7 @@ impl MinbftReplica {
             ClientAuth::Signatures => {
                 self.pk_verifies += 1;
                 match sig {
-                    Some(s) => {
-                        self.ring.verify(ProcessId::Client(req.id.client), &reqb(req), s)
-                    }
+                    Some(s) => self.ring.verify(ProcessId::Client(req.id.client), &reqb(req), s),
                     None => false,
                 }
             }
@@ -137,7 +135,11 @@ impl MinbftReplica {
     }
 
     /// A client request reached the leader.
-    pub fn on_client_request(&mut self, req: Request, sig: Option<&Signature>) -> Vec<MinbftEffect> {
+    pub fn on_client_request(
+        &mut self,
+        req: Request,
+        sig: Option<&Signature>,
+    ) -> Vec<MinbftEffect> {
         if !self.is_leader() || !self.verify_client(&req, sig) {
             return Vec::new();
         }
@@ -186,11 +188,8 @@ impl MinbftReplica {
         }
         entry.sent_commit = true;
         let ui = self.usig.create_ui(&commit_bytes(slot, self.me));
-        let mut fx: Vec<MinbftEffect> = self
-            .peers
-            .iter()
-            .map(|&to| MinbftEffect::SendCommit { to, slot, ui })
-            .collect();
+        let mut fx: Vec<MinbftEffect> =
+            self.peers.iter().map(|&to| MinbftEffect::SendCommit { to, slot, ui }).collect();
         // Our own commit counts.
         fx.extend(self.count_commit(slot));
         fx
@@ -208,7 +207,7 @@ impl MinbftReplica {
         let f = self.f;
         let entry = self.slots.entry(slot).or_default();
         entry.commits += 1;
-        if entry.commits >= f + 1 && !entry.executed {
+        if entry.commits > f && !entry.executed {
             if let Some(req) = entry.req.clone() {
                 entry.executed = true;
                 return vec![MinbftEffect::Execute { slot, req }];
@@ -252,9 +251,7 @@ mod tests {
         let ids: Vec<ReplicaId> = (0..3).map(ReplicaId).collect();
         let ring = KeyRing::generate(
             4,
-            ids.iter()
-                .map(|r| ProcessId::Replica(*r))
-                .chain([ProcessId::Client(ClientId(0))]),
+            ids.iter().map(|r| ProcessId::Replica(*r)).chain([ProcessId::Client(ClientId(0))]),
         );
         ids.iter()
             .map(|&me| {
@@ -271,11 +268,8 @@ mod tests {
     fn run_request(replicas: &mut [MinbftReplica], r: Request, sig: Option<Signature>) -> usize {
         // FIFO processing: USIG counters are sequential and the transport
         // delivers each sender's messages in order.
-        let mut queue: std::collections::VecDeque<(usize, MinbftEffect)> = replicas[0]
-            .on_client_request(r, sig.as_ref())
-            .into_iter()
-            .map(|e| (0, e))
-            .collect();
+        let mut queue: std::collections::VecDeque<(usize, MinbftEffect)> =
+            replicas[0].on_client_request(r, sig.as_ref()).into_iter().map(|e| (0, e)).collect();
         let mut executed = 0;
         while let Some((_who, fx)) = queue.pop_front() {
             match fx {

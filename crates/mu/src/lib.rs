@@ -52,7 +52,13 @@ impl MuLeader {
     /// Creates a leader for a group of `followers.len() + 1` replicas.
     pub fn new(me: ReplicaId, followers: Vec<ReplicaId>) -> Self {
         let n = followers.len() + 1;
-        MuLeader { me, followers, majority: n / 2 + 1, next_slot: Slot(0), inflight: BTreeMap::new() }
+        MuLeader {
+            me,
+            followers,
+            majority: n / 2 + 1,
+            next_slot: Slot(0),
+            inflight: BTreeMap::new(),
+        }
     }
 
     /// This replica's id.
@@ -84,10 +90,8 @@ impl MuLeader {
     }
 
     fn check_commit(&mut self, slot: Slot) -> Vec<MuEffect> {
-        let ready = self
-            .inflight
-            .get(&slot)
-            .is_some_and(|(acks, _, done)| *acks >= self.majority && !done);
+        let ready =
+            self.inflight.get(&slot).is_some_and(|(acks, _, done)| *acks >= self.majority && !done);
         if !ready {
             return Vec::new();
         }
@@ -96,12 +100,8 @@ impl MuLeader {
         let req = req.clone();
         // Retain the entry until a later GC (bounded by pipeline depth).
         if self.inflight.len() > 1024 {
-            let committed: Vec<Slot> = self
-                .inflight
-                .iter()
-                .filter(|(_, (_, _, d))| *d)
-                .map(|(s, _)| *s)
-                .collect();
+            let committed: Vec<Slot> =
+                self.inflight.iter().filter(|(_, (_, _, d))| *d).map(|(s, _)| *s).collect();
             for s in committed {
                 self.inflight.remove(&s);
             }

@@ -141,11 +141,7 @@ impl Fabric {
     fn fifo_arrival(&mut self, src: HostId, dst: HostId, proposed: Time) -> Time {
         let key = (src, dst);
         let last = self.last_arrival.get(&key).copied().unwrap_or(Time::ZERO);
-        let arrival = if proposed <= last {
-            last + Duration::from_nanos(1)
-        } else {
-            proposed
-        };
+        let arrival = if proposed <= last { last + Duration::from_nanos(1) } else { proposed };
         self.last_arrival.insert(key, arrival);
         arrival
     }
@@ -184,9 +180,8 @@ impl Fabric {
         };
         let arrival = self.fifo_arrival(issuer, target, now + delay);
         // Data streams into memory at wire rate; this is the torn window.
-        let spread = Duration::from_nanos(
-            (data.len() as u64 * self.net.latency().picos_per_byte) / 1000,
-        );
+        let spread =
+            Duration::from_nanos((data.len() as u64 * self.net.latency().picos_per_byte) / 1000);
         let entry = self.regions.get_mut(&region).expect("checked above");
         entry.region.begin_write(offset, data.to_vec(), arrival, spread);
         // Completion: ack hop back, plus the read-after-write fence RTT the
@@ -327,10 +322,7 @@ mod tests {
     fn out_of_bounds_rejected() {
         let mut f = fabric();
         let (r, tok) = f.create_region(HostId(1), 8);
-        assert_eq!(
-            f.write(HostId(0), tok, r, 4, &[0; 8], t(0)),
-            Err(RdmaError::OutOfBounds)
-        );
+        assert_eq!(f.write(HostId(0), tok, r, 4, &[0; 8], t(0)), Err(RdmaError::OutOfBounds));
         assert_eq!(f.read(HostId(0), r, 0, 9, t(0)).unwrap_err(), RdmaError::OutOfBounds);
     }
 
@@ -353,10 +345,7 @@ mod tests {
             f.write(HostId(0), tok, r, 0, &[1; 8], t(100)),
             Err(RdmaError::TargetUnavailable)
         );
-        assert_eq!(
-            f.read(HostId(2), r, 0, 8, t(100)).unwrap_err(),
-            RdmaError::TargetUnavailable
-        );
+        assert_eq!(f.read(HostId(2), r, 0, 8, t(100)).unwrap_err(), RdmaError::TargetUnavailable);
     }
 
     #[test]
@@ -398,8 +387,8 @@ mod tests {
         // same instant from a distinct host arrives ~1 µs later, i.e. in the
         // vicinity of the window; either way the result must be consistent.
         let rd = f.read(HostId(2), r, 0, 4096, start2).unwrap();
-        let saw_new = rd.data.iter().any(|&b| b == 0x22);
-        let saw_old = rd.data.iter().any(|&b| b == 0x11);
+        let saw_new = rd.data.contains(&0x22);
+        let saw_old = rd.data.contains(&0x11);
         // Timing depends on latency sampling, so just require the read to be
         // *consistent with the model*: all-old, all-new, or a torn mix where
         // new data forms a prefix.

@@ -59,7 +59,13 @@ impl Region {
 
     /// Begins applying `data` at `offset` starting at time `start`, taking
     /// `spread` of virtual time to stream in word by word.
-    pub(crate) fn begin_write(&mut self, offset: usize, data: Vec<u8>, start: Time, spread: Duration) {
+    pub(crate) fn begin_write(
+        &mut self,
+        offset: usize,
+        data: Vec<u8>,
+        start: Time,
+        spread: Duration,
+    ) {
         debug_assert!(offset + data.len() <= self.committed.len());
         self.compact(start);
         let n_words = data.len().div_ceil(8).max(1) as u64;

@@ -80,8 +80,8 @@ pub fn run_mu(
         let mut write_completions: Vec<(Duration, Slot)> = Vec::new();
         for e in &fx {
             if let MuEffect::WriteLog { to, slot, req } = e {
-                let rtt = cfg.latency.sample(&mut rng, payload.len())
-                    + cfg.latency.sample(&mut rng, 16);
+                let rtt =
+                    cfg.latency.sample(&mut rng, payload.len()) + cfg.latency.sample(&mut rng, 16);
                 write_completions.push((rtt, *slot));
                 follower_logs[to.0 as usize - 1].on_log_write(*slot, req.clone());
             }
@@ -186,13 +186,8 @@ pub fn run_minbft(
                         prepare_hop_charged = true;
                     }
                     let ti = to.0 as usize;
-                    let ffx = replicas[ti].on_prepare(
-                        ReplicaId(who as u32),
-                        slot,
-                        req,
-                        ui,
-                        sig.as_ref(),
-                    );
+                    let ffx =
+                        replicas[ti].on_prepare(ReplicaId(who as u32), slot, req, ui, sig.as_ref());
                     if !follower_charged {
                         t += charge_meters(cfg, &mut rng, &mut replicas[ti]);
                         follower_charged = true;
@@ -230,9 +225,7 @@ pub fn run_minbft(
         t += vma_hop(&mut rng, cfg, resp.len());
         match auth {
             ClientAuth::Signatures => {
-                t += Duration::from_nanos(
-                    cfg.cost.verify_total().as_nanos() * (f as u64 + 1),
-                );
+                t += Duration::from_nanos(cfg.cost.verify_total().as_nanos() * (f as u64 + 1));
             }
             ClientAuth::EnclaveHmac => {
                 t += cfg.cost.enclave_access(&mut rng);
@@ -327,13 +320,11 @@ mod tests {
     fn minbft_vanilla_slower_than_hmac() {
         let cfg = SimConfig::paper_default(1);
         let mut a1 = FlipApp::new();
-        let mut vanilla =
-            run_minbft(&cfg, ClientAuth::Signatures, &mut a1, payload(32), 100, 10);
+        let mut vanilla = run_minbft(&cfg, ClientAuth::Signatures, &mut a1, payload(32), 100, 10);
         let mut a2 = FlipApp::new();
-        let mut hmac =
-            run_minbft(&cfg, ClientAuth::EnclaveHmac, &mut a2, payload(32), 100, 10);
+        let mut hmac = run_minbft(&cfg, ClientAuth::EnclaveHmac, &mut a2, payload(32), 100, 10);
         assert!(
-            vanilla.median() > hmac.median().mul(3).div(2),
+            vanilla.median() > hmac.median() * 3 / 2,
             "vanilla {} should be >1.5x hmac {}",
             vanilla.median(),
             hmac.median()

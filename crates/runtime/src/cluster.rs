@@ -56,18 +56,54 @@ enum Lane {
 
 /// Simulation events.
 enum Ev {
-    Poll { lane: Lane, from: usize, to: usize },
-    Flush { lane: Lane, from: usize, to: usize },
-    Timer { r: usize, kind: TimerKind },
-    CtbSlow { r: usize, k: SeqId },
-    CtbSignDone { r: usize, k: SeqId, sig: Signature },
-    CtbVerifyDone { r: usize, stream: usize, tag: VerifyTag, ok: bool },
-    CtbWritten { r: usize, stream: usize, k: SeqId },
-    CtbReadDone { r: usize, stream: usize, k: SeqId, entries: Vec<Option<RegEntry>> },
-    ClientIssue { c: usize },
+    Poll {
+        lane: Lane,
+        from: usize,
+        to: usize,
+    },
+    Flush {
+        lane: Lane,
+        from: usize,
+        to: usize,
+    },
+    Timer {
+        r: usize,
+        kind: TimerKind,
+    },
+    CtbSlow {
+        r: usize,
+        k: SeqId,
+    },
+    CtbSignDone {
+        r: usize,
+        k: SeqId,
+        sig: Signature,
+    },
+    CtbVerifyDone {
+        r: usize,
+        stream: usize,
+        tag: VerifyTag,
+        ok: bool,
+    },
+    CtbWritten {
+        r: usize,
+        stream: usize,
+        k: SeqId,
+    },
+    CtbReadDone {
+        r: usize,
+        stream: usize,
+        k: SeqId,
+        entries: Vec<Option<RegEntry>>,
+    },
+    ClientIssue {
+        c: usize,
+    },
     /// Periodic TBcast retransmission tick for replica `r` (§4.2: the
     /// broadcaster retransmits its buffered tail until acknowledged).
-    Retransmit { r: usize },
+    Retransmit {
+        r: usize,
+    },
 }
 
 /// Counts of primitive operations during a run (drives the Figure 9
@@ -208,18 +244,12 @@ impl Cluster {
         // CTBcast instances: ctbs[replica][stream].
         let replica_ids: Vec<ReplicaId> = cfg.params.replicas().collect();
         let ctb_cfg_for = |_s: usize| match cfg.path {
-            PathMode::FastOnly => CtbConfig {
-                n,
-                tail: cfg.params.tail,
-                fast_enabled: true,
-                slow: SlowMode::Never,
-            },
-            PathMode::SlowOnly => CtbConfig {
-                n,
-                tail: cfg.params.tail,
-                fast_enabled: false,
-                slow: SlowMode::Always,
-            },
+            PathMode::FastOnly => {
+                CtbConfig { n, tail: cfg.params.tail, fast_enabled: true, slow: SlowMode::Never }
+            }
+            PathMode::SlowOnly => {
+                CtbConfig { n, tail: cfg.params.tail, fast_enabled: false, slow: SlowMode::Always }
+            }
             PathMode::FastWithFallback => CtbConfig::deployed(n, cfg.params.tail),
         };
         let ctbs: Vec<Vec<Ctb>> = (0..n)
@@ -260,9 +290,8 @@ impl Cluster {
                     .collect()
             })
             .collect();
-        let cons_tx: Vec<TailBroadcaster> = (0..n)
-            .map(|r| TailBroadcaster::new(ReplicaId(r as u32), peers_of(r), cap))
-            .collect();
+        let cons_tx: Vec<TailBroadcaster> =
+            (0..n).map(|r| TailBroadcaster::new(ReplicaId(r as u32), peers_of(r), cap)).collect();
         let cons_rx: Vec<Vec<TailReceiver>> = (0..n)
             .map(|_r| (0..n).map(|s| TailReceiver::new(ReplicaId(s as u32), cap)).collect())
             .collect();
@@ -371,10 +400,9 @@ impl Cluster {
         // lockstep.
         for r in 0..n {
             let offset = Duration::from_nanos(1_000 * (r as u64 + 1));
-            cluster.events.push(
-                Time::ZERO + cluster.cfg.retransmit_period + offset,
-                Ev::Retransmit { r },
-            );
+            cluster
+                .events
+                .push(Time::ZERO + cluster.cfg.retransmit_period + offset, Ev::Retransmit { r });
         }
         cluster
     }
@@ -463,12 +491,7 @@ impl Cluster {
     // Engine plumbing
     // ------------------------------------------------------------------
 
-    fn engine_call(
-        &mut self,
-        r: usize,
-        at: Time,
-        f: impl FnOnce(&mut Engine) -> Vec<Effect>,
-    ) {
+    fn engine_call(&mut self, r: usize, at: Time, f: impl FnOnce(&mut Engine) -> Vec<Effect>) {
         if self.crashed[r] {
             return;
         }
@@ -488,8 +511,7 @@ impl Cluster {
         let effect_at = if ops.is_zero() {
             done
         } else {
-            let start =
-                if done > self.crypto_busy[r] { done } else { self.crypto_busy[r] };
+            let start = if done > self.crypto_busy[r] { done } else { self.crypto_busy[r] };
             let fin = start + self.crypto_cost(ops);
             self.crypto_busy[r] = fin;
             fin
@@ -522,8 +544,7 @@ impl Cluster {
                 let payload = self.apps[r].execute(&req.payload);
                 let done = self.charge(r, at, cost);
                 if !req.is_noop() && (req.id.client.0 as usize) < self.clients.len() {
-                    let reply =
-                        Reply { id: req.id, replica: ReplicaId(r as u32), payload };
+                    let reply = Reply { id: req.id, replica: ReplicaId(r as u32), payload };
                     let c_node = self.client_node(req.id.client.0 as usize);
                     self.counters.rpc_msgs += 1;
                     self.channel_send(Lane::ClientResp, r, c_node, reply.to_bytes(), done);
@@ -538,7 +559,7 @@ impl Cluster {
                     TimerKind::Progress => {
                         // PBFT-style backoff: fruitless view changes double
                         // the watchdog period so slow view changes complete.
-                        self.cfg.progress_timeout.mul(u64::from(self.engines[r].progress_backoff()))
+                        self.cfg.progress_timeout * u64::from(self.engines[r].progress_backoff())
                     }
                     TimerKind::SlotSlowTrigger(_) => self.cfg.slow_trigger,
                     TimerKind::EchoFallback(_) => self.cfg.echo_fallback,
@@ -593,8 +614,7 @@ impl Cluster {
                     .signer(ProcessId::Replica(ReplicaId(stream as u32)))
                     .expect("replica key");
                 let sig = signer.sign(&signed_bytes(ReplicaId(stream as u32), k, &fp));
-                self.events
-                    .push(at + self.cfg.cost.sign_total(), Ev::CtbSignDone { r, k, sig });
+                self.events.push(at + self.cfg.cost.sign_total(), Ev::CtbSignDone { r, k, sig });
             }
             CtbEffect::Verify { tag, k, fp, sig } => {
                 self.counters.ctb_verifies += 1;
@@ -640,18 +660,16 @@ impl Cluster {
                 let (entries, completion) = self.read_register_slot(r, stream, slot, at);
                 self.events.push(completion, Ev::CtbReadDone { r, stream, k, entries });
             }
-            CtbEffect::Deliver { k, payload } => {
-                match CtbMsg::from_bytes(&payload) {
-                    Ok(msg) => {
-                        let s = ReplicaId(stream as u32);
-                        self.engine_call(r, at, |e| e.on_ctb_deliver(s, k, msg));
-                    }
-                    Err(_) => {
-                        let s = ReplicaId(stream as u32);
-                        self.engine_call(r, at, |e| e.on_ctb_equivocation(s, k));
-                    }
+            CtbEffect::Deliver { k, payload } => match CtbMsg::from_bytes(&payload) {
+                Ok(msg) => {
+                    let s = ReplicaId(stream as u32);
+                    self.engine_call(r, at, |e| e.on_ctb_deliver(s, k, msg));
                 }
-            }
+                Err(_) => {
+                    let s = ReplicaId(stream as u32);
+                    self.engine_call(r, at, |e| e.on_ctb_equivocation(s, k));
+                }
+            },
             CtbEffect::Equivocation { k } => {
                 let s = ReplicaId(stream as u32);
                 self.engine_call(r, at, |e| e.on_ctb_equivocation(s, k));
@@ -828,8 +846,7 @@ impl Cluster {
         let staged = ch.tx.staged_len() > 0;
         let flush_at = ch.tx.next_flush_at();
         for (_seq, arrival) in out.issued {
-            self.events
-                .push(arrival + self.cfg.poll_pickup, Ev::Poll { lane, from, to });
+            self.events.push(arrival + self.cfg.poll_pickup, Ev::Poll { lane, from, to });
         }
         if staged {
             if let Some(t) = flush_at {
@@ -847,8 +864,7 @@ impl Cluster {
         let staged = ch.tx.staged_len() > 0;
         let flush_at = ch.tx.next_flush_at();
         for (_seq, arrival) in out.issued {
-            self.events
-                .push(arrival + self.cfg.poll_pickup, Ev::Poll { lane, from, to });
+            self.events.push(arrival + self.cfg.poll_pickup, Ev::Poll { lane, from, to });
         }
         if staged {
             if let Some(t) = flush_at {
@@ -864,22 +880,14 @@ impl Cluster {
         };
         let out = ch.rx.poll(&mut self.fabric, at);
         if out.repoll {
-            self.events
-                .push(at + Duration::from_nanos(200), Ev::Poll { lane, from, to });
+            self.events.push(at + Duration::from_nanos(200), Ev::Poll { lane, from, to });
         }
         for (_seq, payload) in out.delivered {
             self.dispatch_message(lane, from, to, payload, at);
         }
     }
 
-    fn dispatch_message(
-        &mut self,
-        lane: Lane,
-        from: usize,
-        to: usize,
-        payload: Vec<u8>,
-        at: Time,
-    ) {
+    fn dispatch_message(&mut self, lane: Lane, from: usize, to: usize, payload: Vec<u8>, at: Time) {
         match lane {
             Lane::CtbTb { stream } => match TbFrame::from_bytes(&payload) {
                 Ok(TbFrame::Data(wire)) => {
@@ -1041,10 +1049,8 @@ impl Cluster {
         self.target = requests + warmup;
         self.warmup = warmup;
         for c in 0..self.clients.len() {
-            self.events.push(
-                Time::ZERO + Duration::from_micros(1 + c as u64),
-                Ev::ClientIssue { c },
-            );
+            self.events
+                .push(Time::ZERO + Duration::from_micros(1 + c as u64), Ev::ClientIssue { c });
         }
         let max_events = 200_000_000u64;
         while let Some((t, ev)) = self.events.pop() {
@@ -1052,10 +1058,7 @@ impl Cluster {
             if self.completed >= self.target || t > deadline {
                 break;
             }
-            assert!(
-                self.events.total_pushed() < max_events,
-                "simulation diverged (event flood)"
-            );
+            assert!(self.events.total_pushed() < max_events, "simulation diverged (event flood)");
             // Apply scheduled replica crashes.
             for r in 0..self.n() {
                 if !self.crashed[r] {
@@ -1165,7 +1168,7 @@ mod tests {
         let run = |seed| {
             let cfg = SimConfig::paper_default(seed).fast_only();
             let mut cluster = Cluster::new(cfg, flip_apps(3), payload32());
-            let mut report = cluster.run(50, 5);
+            let report = cluster.run(50, 5);
             (report.latency.mean(), report.end, report.counters)
         };
         assert_eq!(run(7), run(7));
@@ -1184,7 +1187,7 @@ mod tests {
         };
         let (mut f, mut s) = (fast.latency, slow.latency);
         assert!(
-            s.median() > f.median().mul(5),
+            s.median() > f.median() * 5,
             "slow {} should be >5x fast {}",
             s.median(),
             f.median()

@@ -201,18 +201,18 @@ mod tests {
 
     #[test]
     fn latest_byzantine_mode_wins() {
-        let p = FailurePlan::none()
-            .byzantine(0, ByzantineMode::Silent, t(10))
-            .byzantine(0, ByzantineMode::CensorRequests, t(20));
+        let p = FailurePlan::none().byzantine(0, ByzantineMode::Silent, t(10)).byzantine(
+            0,
+            ByzantineMode::CensorRequests,
+            t(20),
+        );
         assert_eq!(p.byzantine_mode(0, t(15)), Some(ByzantineMode::Silent));
         assert_eq!(p.byzantine_mode(0, t(25)), Some(ByzantineMode::CensorRequests));
     }
 
     #[test]
     fn crash_lookup() {
-        let p = FailurePlan::none()
-            .crash_replica(2, t(5))
-            .crash_mem_node(0, t(7));
+        let p = FailurePlan::none().crash_replica(2, t(5)).crash_mem_node(0, t(7));
         assert_eq!(p.replica_crash_time(2), Some(t(5)));
         assert_eq!(p.replica_crash_time(0), None);
         assert_eq!(p.mem_node_crash_time(0), Some(t(7)));

@@ -129,9 +129,7 @@ impl NetworkModel {
 
     /// Whether `host` has crashed by time `t`.
     pub fn is_crashed(&self, host: HostId, t: Time) -> bool {
-        self.crash_at
-            .get(host.0 as usize)
-            .map_or(false, |&c| t >= c)
+        self.crash_at.get(host.0 as usize).is_some_and(|&c| t >= c)
     }
 
     /// The latency model in force.
@@ -209,15 +207,9 @@ mod tests {
         assert_eq!(net.hop(&mut r, HostId(0), HostId(1), 8, t0), HopOutcome::Dropped);
         assert_eq!(net.hop(&mut r, HostId(1), HostId(0), 8, t0), HopOutcome::Dropped);
         // Unrelated pair unaffected.
-        assert!(matches!(
-            net.hop(&mut r, HostId(0), HostId(2), 8, t0),
-            HopOutcome::Delivered(_)
-        ));
+        assert!(matches!(net.hop(&mut r, HostId(0), HostId(2), 8, t0), HopOutcome::Delivered(_)));
         // Partition heals.
-        assert!(matches!(
-            net.hop(&mut r, HostId(0), HostId(1), 8, t5),
-            HopOutcome::Delivered(_)
-        ));
+        assert!(matches!(net.hop(&mut r, HostId(0), HostId(1), 8, t5), HopOutcome::Delivered(_)));
     }
 
     #[test]
@@ -240,15 +232,12 @@ mod tests {
     #[test]
     fn pre_gst_adds_delay() {
         let lat = LatencyModel::instant();
-        let net = NetworkModel::synchronous(lat, 2).with_gst(
-            Time::from_nanos(1_000_000),
-            Duration::from_micros(500),
-        );
+        let net = NetworkModel::synchronous(lat, 2)
+            .with_gst(Time::from_nanos(1_000_000), Duration::from_micros(500));
         let mut r = rng();
         let mut saw_extra = false;
         for _ in 0..100 {
-            if let HopOutcome::Delivered(d) = net.hop(&mut r, HostId(0), HostId(1), 8, Time::ZERO)
-            {
+            if let HopOutcome::Delivered(d) = net.hop(&mut r, HostId(0), HostId(1), 8, Time::ZERO) {
                 if d > Duration::from_micros(1) {
                     saw_extra = true;
                 }

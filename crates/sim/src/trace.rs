@@ -141,10 +141,7 @@ impl Tracer {
 
     /// Sums span time per `(component, category)` across all requests,
     /// averaged over `n_requests`.
-    pub fn mean_breakdown(
-        &self,
-        n_requests: u64,
-    ) -> BTreeMap<(Component, Category), Duration> {
+    pub fn mean_breakdown(&self, n_requests: u64) -> BTreeMap<(Component, Category), Duration> {
         let mut out = BTreeMap::new();
         for s in &self.spans {
             let e = out.entry((s.component, s.category)).or_insert(Duration::ZERO);
@@ -152,7 +149,7 @@ impl Tracer {
         }
         if n_requests > 1 {
             for v in out.values_mut() {
-                *v = v.div(n_requests);
+                *v = *v / n_requests;
             }
         }
         out

@@ -62,13 +62,8 @@ pub fn create_channel(
         staged_dropped: 0,
         issuer: None,
     };
-    let receiver = ChannelReceiver {
-        spec,
-        region,
-        host: receiver_host,
-        expected_seq: 0,
-        skipped: 0,
-    };
+    let receiver =
+        ChannelReceiver { spec, region, host: receiver_host, expected_seq: 0, skipped: 0 };
     (sender, receiver)
 }
 
@@ -199,8 +194,7 @@ impl ChannelSender {
         // write permission via the token, and the network model needs the
         // issuer only for latency/crash checks — the runtime passes it in
         // through `fabric` state. We derive it from the write call instead.
-        match fabric.write(self.issuer_host(fabric), self.token, self.region, offset, &frame, now)
-        {
+        match fabric.write(self.issuer_host(fabric), self.token, self.region, offset, &frame, now) {
             Ok(ticket) => {
                 self.slot_busy_until[slot] = ticket.completion;
                 Some(ticket.arrival)
@@ -211,8 +205,7 @@ impl ChannelSender {
     }
 
     fn issuer_host(&self, _fabric: &Fabric) -> HostId {
-        self.issuer
-            .expect("ChannelSender::bind_issuer must be called before sending")
+        self.issuer.expect("ChannelSender::bind_issuer must be called before sending")
     }
 
     /// Binds the sender to the host it runs on (used for latency and crash
@@ -272,16 +265,12 @@ impl ChannelReceiver {
             let slot = (self.expected_seq % self.spec.slots as u64) as usize;
             let expected_inc = (self.expected_seq / self.spec.slots as u64 + 1) as u32;
             let offset = slot * self.spec.slot_size();
-            let frame = match fabric.local_read(
-                self.host,
-                self.region,
-                offset,
-                self.spec.slot_size(),
-                now,
-            ) {
-                Ok(f) => f,
-                Err(_) => return out, // crashed host: nothing deliverable
-            };
+            let frame =
+                match fabric.local_read(self.host, self.region, offset, self.spec.slot_size(), now)
+                {
+                    Ok(f) => f,
+                    Err(_) => return out, // crashed host: nothing deliverable
+                };
             let inc = u32::from_le_bytes(frame[8..12].try_into().expect("header"));
             if inc < expected_inc {
                 // Not written yet.

@@ -139,9 +139,7 @@ mod tests {
 
     #[test]
     fn builders() {
-        let p = ClusterParams::paper_default()
-            .with_tail(16)
-            .with_max_request_bytes(64);
+        let p = ClusterParams::paper_default().with_tail(16).with_max_request_bytes(64);
         assert_eq!(p.tail, 16);
         assert_eq!(p.max_request_bytes, 64);
     }

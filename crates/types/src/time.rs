@@ -5,7 +5,7 @@
 //! microsecond-scale latencies deterministically.
 
 use core::fmt;
-use core::ops::{Add, AddAssign, Sub};
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
 
 use crate::wire::{Wire, WireReader};
 use crate::CodecError;
@@ -91,16 +91,18 @@ impl Duration {
     pub fn as_micros_f64(self) -> f64 {
         self.0 as f64 / 1_000.0
     }
+}
 
-    /// Multiplies the duration by an integer factor.
-    #[must_use]
-    pub fn mul(self, k: u64) -> Duration {
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, k: u64) -> Duration {
         Duration(self.0 * k)
     }
+}
 
-    /// Divides the duration by an integer factor.
-    #[must_use]
-    pub fn div(self, k: u64) -> Duration {
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, k: u64) -> Duration {
         Duration(self.0 / k)
     }
 }
@@ -216,9 +218,6 @@ mod tests {
 
     #[test]
     fn duration_sub_saturates() {
-        assert_eq!(
-            Duration::from_nanos(5) - Duration::from_nanos(10),
-            Duration::ZERO
-        );
+        assert_eq!(Duration::from_nanos(5) - Duration::from_nanos(10), Duration::ZERO);
     }
 }

@@ -215,10 +215,7 @@ mod tests {
     fn bool_roundtrip_and_bad_tag() {
         roundtrip(&true);
         roundtrip(&false);
-        assert!(matches!(
-            bool::from_bytes(&[7]),
-            Err(CodecError::BadTag { ty: "bool", tag: 7 })
-        ));
+        assert!(matches!(bool::from_bytes(&[7]), Err(CodecError::BadTag { ty: "bool", tag: 7 })));
     }
 
     #[test]
@@ -254,10 +251,7 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut buf = 5u8.to_bytes();
         buf.push(0);
-        assert!(matches!(
-            u8::from_bytes(&buf),
-            Err(CodecError::TrailingBytes { remaining: 1 })
-        ));
+        assert!(matches!(u8::from_bytes(&buf), Err(CodecError::TrailingBytes { remaining: 1 })));
     }
 
     #[test]

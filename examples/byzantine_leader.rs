@@ -41,8 +41,7 @@ fn main() {
     let mut cfg = SimConfig::paper_default(13);
     cfg.path = PathMode::FastWithFallback;
     // Replica 0 — the leader of view 0 — equivocates from the start.
-    cfg.failures =
-        FailurePlan::none().byzantine(0, ByzantineMode::EquivocateProposals, Time::ZERO);
+    cfg.failures = FailurePlan::none().byzantine(0, ByzantineMode::EquivocateProposals, Time::ZERO);
 
     let logs: Vec<Rc<RefCell<Vec<Vec<u8>>>>> =
         (0..3).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
@@ -73,8 +72,8 @@ fn main() {
         "engine signatures: {}  CTBcast signatures: {}",
         report.counters.engine_signs, report.counters.ctb_signs
     );
-    for r in 0..3 {
-        println!("replica {r} executed {} requests", logs[r].borrow().len());
+    for (r, log) in logs.iter().enumerate() {
+        println!("replica {r} executed {} requests", log.borrow().len());
     }
 
     // SMR agreement between the correct replicas (1 and 2): one history is

@@ -17,8 +17,7 @@ fn main() {
     let mut cfg = SimConfig::paper_default(5);
     cfg.path = PathMode::FastWithFallback;
     // The leader (replica 0) crashes 2 ms into the run.
-    cfg.failures =
-        FailurePlan::none().crash_replica(0, Time::ZERO + Duration::from_millis(2));
+    cfg.failures = FailurePlan::none().crash_replica(0, Time::ZERO + Duration::from_millis(2));
     let apps: Vec<Box<dyn App>> =
         (0..3).map(|_| Box::new(FlipApp::new()) as Box<dyn App>).collect();
     let workload = Box::new(|i: u64| i.to_le_bytes().to_vec());

@@ -15,9 +15,8 @@ use ubft_core::app::App;
 
 fn main() {
     let cfg = SimConfig::paper_default(7).fast_only();
-    let apps: Vec<Box<dyn App>> = (0..3)
-        .map(|_| Box::new(KvApp::new(KvFrontend::Memcached)) as Box<dyn App>)
-        .collect();
+    let apps: Vec<Box<dyn App>> =
+        (0..3).map(|_| Box::new(KvApp::new(KvFrontend::Memcached)) as Box<dyn App>).collect();
     let mut rng = WorkloadRng::new(99);
     let mut populated = 0u64;
     let workload = Box::new(move |_| kv_request(&mut rng, &mut populated));

@@ -29,7 +29,8 @@ fn main() {
     // 2. The same app replicated by uBFT's fast path: 2f+1 = 3 replicas,
     //    3 memory nodes, tolerating one Byzantine replica.
     let cfg = SimConfig::paper_default(42).fast_only();
-    let apps: Vec<Box<dyn App>> = (0..3).map(|_| Box::new(FlipApp::new()) as Box<dyn App>).collect();
+    let apps: Vec<Box<dyn App>> =
+        (0..3).map(|_| Box::new(FlipApp::new()) as Box<dyn App>).collect();
     let mut cluster = Cluster::new(cfg, apps, workload());
     let report = cluster.run(1000, 100);
     let mut ubft = report.latency;

@@ -51,8 +51,7 @@ fn recording_apps(n: usize) -> (Vec<Box<dyn App>>, Logs) {
     let apps = logs
         .iter()
         .map(|log| {
-            Box::new(RecordingApp { inner: FlipApp::new(), log: Rc::clone(log) })
-                as Box<dyn App>
+            Box::new(RecordingApp { inner: FlipApp::new(), log: Rc::clone(log) }) as Box<dyn App>
         })
         .collect();
     (apps, logs)
@@ -76,11 +75,7 @@ fn assert_prefix_consistent(logs: &Logs, correct: &[usize]) {
             let la = logs[a].borrow();
             let lb = logs[b].borrow();
             let n = la.len().min(lb.len());
-            assert_eq!(
-                la[..n],
-                lb[..n],
-                "replicas {a} and {b} diverge within their common prefix"
-            );
+            assert_eq!(la[..n], lb[..n], "replicas {a} and {b} diverge within their common prefix");
         }
     }
 }
@@ -93,8 +88,7 @@ fn us(n: u64) -> Time {
 fn equivocating_leader_cannot_violate_agreement() {
     let mut cfg = SimConfig::paper_default(21);
     cfg.path = PathMode::FastWithFallback;
-    cfg.failures =
-        FailurePlan::none().byzantine(0, ByzantineMode::EquivocateProposals, Time::ZERO);
+    cfg.failures = FailurePlan::none().byzantine(0, ByzantineMode::EquivocateProposals, Time::ZERO);
     let (apps, logs) = recording_apps(3);
     let mut cluster = Cluster::new(cfg, apps, payload(32));
     let report = cluster.run(40, 0);
@@ -110,8 +104,7 @@ fn equivocating_leader_cannot_violate_agreement() {
 fn censoring_leader_is_voted_out() {
     let mut cfg = SimConfig::paper_default(22);
     cfg.path = PathMode::FastWithFallback;
-    cfg.failures =
-        FailurePlan::none().byzantine(0, ByzantineMode::CensorRequests, Time::ZERO);
+    cfg.failures = FailurePlan::none().byzantine(0, ByzantineMode::CensorRequests, Time::ZERO);
     let (apps, logs) = recording_apps(3);
     let mut cluster = Cluster::new(cfg, apps, payload(32));
     let report = cluster.run(30, 0);
@@ -140,8 +133,7 @@ fn silent_replica_is_no_worse_than_a_crash() {
 #[test]
 fn corrupt_registers_cannot_block_slow_path() {
     let mut cfg = SimConfig::paper_default(24).slow_only();
-    cfg.failures =
-        FailurePlan::none().byzantine(1, ByzantineMode::CorruptRegisters, Time::ZERO);
+    cfg.failures = FailurePlan::none().byzantine(1, ByzantineMode::CorruptRegisters, Time::ZERO);
     let (apps, logs) = recording_apps(3);
     let mut cluster = Cluster::new(cfg, apps, payload(32));
     let report = cluster.run(30, 5);
@@ -215,8 +207,7 @@ fn pre_gst_asynchrony_does_not_violate_safety() {
     // Until GST at 2 ms every hop may take up to 300 µs extra: timeouts
     // misfire, the slow path and view changes kick in spuriously. Safety
     // must hold throughout and liveness must return after GST.
-    cfg.failures =
-        FailurePlan::none().with_asynchrony(us(2_000), Duration::from_micros(300));
+    cfg.failures = FailurePlan::none().with_asynchrony(us(2_000), Duration::from_micros(300));
     let (apps, logs) = recording_apps(3);
     let mut cluster = Cluster::new(cfg, apps, payload(32));
     let report = cluster.run(80, 0);
@@ -229,9 +220,8 @@ fn five_replicas_tolerate_one_byzantine_and_one_crash() {
     let mut cfg = SimConfig::paper_default(29);
     cfg.path = PathMode::FastWithFallback;
     cfg.params = cfg.params.with_f(2);
-    cfg.failures = FailurePlan::none()
-        .byzantine(3, ByzantineMode::Silent, us(50))
-        .crash_replica(4, us(150));
+    cfg.failures =
+        FailurePlan::none().byzantine(3, ByzantineMode::Silent, us(50)).crash_replica(4, us(150));
     let (apps, logs) = recording_apps(5);
     let mut cluster = Cluster::new(cfg, apps, payload(32));
     let report = cluster.run(30, 0);

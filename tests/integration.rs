@@ -56,9 +56,8 @@ fn checkpointing_run_crosses_window_boundary() {
 fn kv_store_replication_end_to_end() {
     use ubft_apps::workload::{kv_request, WorkloadRng};
     let cfg = SimConfig::paper_default(4).fast_only();
-    let apps: Vec<Box<dyn App>> = (0..3)
-        .map(|_| Box::new(KvApp::new(KvFrontend::Redis)) as Box<dyn App>)
-        .collect();
+    let apps: Vec<Box<dyn App>> =
+        (0..3).map(|_| Box::new(KvApp::new(KvFrontend::Redis)) as Box<dyn App>).collect();
     let mut rng = WorkloadRng::new(5);
     let mut populated = 0u64;
     let workload = Box::new(move |_| kv_request(&mut rng, &mut populated));
@@ -86,8 +85,7 @@ fn leader_crash_triggers_view_change_and_recovery() {
     cfg.path = PathMode::FastWithFallback;
     // Crash the leader about halfway through the run (~9 µs per request on
     // the healthy fast path), so the tail must ride a view change.
-    cfg.failures =
-        FailurePlan::none().crash_replica(0, Time::ZERO + Duration::from_millis(1));
+    cfg.failures = FailurePlan::none().crash_replica(0, Time::ZERO + Duration::from_millis(1));
     let mut cluster = Cluster::new(cfg, flip_apps(3), fixed_payload(32));
     let report = cluster.run(200, 0);
     assert_eq!(report.completed, 200);
@@ -102,8 +100,7 @@ fn follower_crash_forces_slow_path_but_completes() {
     cfg.path = PathMode::FastWithFallback;
     // Crash follower 2 early enough that most of the run happens without it
     // (the whole 60-request run takes well under a millisecond when healthy).
-    cfg.failures =
-        FailurePlan::none().crash_replica(2, Time::ZERO + Duration::from_micros(100));
+    cfg.failures = FailurePlan::none().crash_replica(2, Time::ZERO + Duration::from_micros(100));
     let mut cluster = Cluster::new(cfg, flip_apps(3), fixed_payload(32));
     let report = cluster.run(60, 0);
     assert_eq!(report.completed, 60);
@@ -127,7 +124,7 @@ fn deterministic_end_to_end() {
     let run = |seed: u64| {
         let cfg = SimConfig::paper_default(seed).fast_only();
         let mut cluster = Cluster::new(cfg, flip_apps(3), fixed_payload(32));
-        let mut r = cluster.run(100, 10);
+        let r = cluster.run(100, 10);
         (r.latency.mean(), r.end)
     };
     assert_eq!(run(99), run(99));

@@ -24,15 +24,11 @@ fn adversarial_ctb_run(
 ) -> Vec<HashMap<u64, Vec<u8>>> {
     const N: usize = 3;
     let replicas: Vec<ReplicaId> = (0..N as u32).map(ReplicaId).collect();
-    let ring = ubft_crypto::KeyRing::generate(
-        7,
-        (0..N as u32).map(|i| ProcessId::Replica(ReplicaId(i))),
-    );
+    let ring =
+        ubft_crypto::KeyRing::generate(7, (0..N as u32).map(|i| ProcessId::Replica(ReplicaId(i))));
     let cfg = CtbConfig { n: N, tail, fast_enabled: true, slow: SlowMode::Always };
-    let mut ctbs: Vec<Ctb> = replicas
-        .iter()
-        .map(|&me| Ctb::new(me, ReplicaId(0), replicas.clone(), cfg))
-        .collect();
+    let mut ctbs: Vec<Ctb> =
+        replicas.iter().map(|&me| Ctb::new(me, ReplicaId(0), replicas.clone(), cfg)).collect();
     let mut registers: Vec<Vec<Option<RegEntry>>> = vec![vec![None; tail]; N];
     let mut delivered: Vec<HashMap<u64, Vec<u8>>> = vec![HashMap::new(); N];
 
@@ -44,15 +40,15 @@ fn adversarial_ctb_run(
     }
     let mut step = 0usize;
     while !pending.is_empty() {
-        let pick = choices.get(step % choices.len().max(1)).copied().unwrap_or(0) as usize
-            % pending.len();
+        let pick =
+            choices.get(step % choices.len().max(1)).copied().unwrap_or(0) as usize % pending.len();
         step += 1;
         assert!(step < 200_000, "adversarial schedule diverged");
         let (who, effect) = pending.swap_remove(pick);
         match effect {
             CtbEffect::Broadcast(wire) => {
                 let is_locked = matches!(wire, ubft_ctb::wire::CtbWire::Locked { .. });
-                for r in 0..N {
+                for (r, ctb) in ctbs.iter_mut().enumerate() {
                     // The adversary may drop fast-path LOCKED echoes (the
                     // network owes nothing to the fast path); LOCK and
                     // SIGNED frames arrive eventually per TBcast.
@@ -62,7 +58,7 @@ fn adversarial_ctb_run(
                     if dropped {
                         continue;
                     }
-                    let fx = ctbs[r].on_tb_deliver(ReplicaId(who as u32), wire.clone());
+                    let fx = ctb.on_tb_deliver(ReplicaId(who as u32), wire.clone());
                     pending.extend(fx.into_iter().map(|e| (r, e)));
                 }
             }

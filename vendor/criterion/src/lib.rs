@@ -1,0 +1,144 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate. The build
+//! environment has no access to a crate registry, so this vendored shim
+//! implements the API surface the uBFT benches use: `Criterion` with the
+//! builder knobs, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple — per-benchmark median and mean of
+//! wall-clock iteration time over `sample_size` samples — printed as one
+//! line per benchmark. There is no HTML report, no outlier analysis, and no
+//! saved baselines; the point is that `cargo bench` compiles, runs fast,
+//! and prints comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Hint to `iter_batched` about per-iteration input size. The shim batches
+/// one input per iteration regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // Warm-up pass: run once, discard timings.
+        f(&mut b);
+        b.samples.clear();
+        let deadline = Instant::now() + self.measurement_time;
+        while b.samples.len() < self.sample_size && Instant::now() < deadline {
+            f(&mut b);
+        }
+        b.report(name);
+        self
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` per call and records it as a sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        drop(out);
+    }
+
+    /// Times `routine` on a fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.samples.push(start.elapsed());
+        drop(out);
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "{name:<40} median {:>12?}  mean {:>12?}  ({} samples)",
+            median,
+            mean,
+            self.samples.len()
+        );
+    }
+}
+
+/// Re-export matching criterion's `black_box` (std's is stable since 1.66).
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
