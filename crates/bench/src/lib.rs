@@ -487,6 +487,53 @@ pub fn throughput(samples: u64) -> String {
     out
 }
 
+/// Request-batching sweep: simulated requests/sec and median latency of the
+/// batched fast path as `max_batch` grows from 1 to 64, under 64 closed-loop
+/// clients and a 2-slot proposal pipeline (the backlog that makes batches
+/// form). The eager unbatched engine (the pre-batching default: one request
+/// per slot, window-wide pipeline) and batched Mu anchor the comparison.
+pub fn batch_sweep(samples: u64) -> String {
+    let mut out = String::from("# Batch sweep (fast path, 32 B requests, 64 clients)\n");
+    out.push_str("batch  p50_us   p99_us   kreq_s\n");
+    let run = |cfg: SimConfig| {
+        let n = cfg.params.n();
+        let mut cluster = Cluster::new(cfg, make_apps("noop", n), make_workload("noop", 32));
+        let report = cluster.run(samples, WARMUP);
+        let kreq = report.completed as f64
+            / report.end.since(ubft_types::Time::ZERO).as_micros_f64()
+            * 1_000.0;
+        let mut lat = report.latency;
+        (us(lat.percentile(50.0)), us(lat.percentile(99.0)), kreq)
+    };
+    let base = || SimConfig::paper_default(SEED).fast_only().with_max_request(64).with_clients(64);
+    let (p50, p99, kreq) = run(base());
+    out.push_str(&format!("eager  {p50:>7.2} {p99:>8.2} {kreq:>8.1}\n"));
+    for batch in [1usize, 4, 16, 64] {
+        let (p50, p99, kreq) = run(base().with_pipeline_depth(2).with_batch(batch));
+        out.push_str(&format!("{batch:<6} {p50:>7.2} {p99:>8.2} {kreq:>8.1}\n"));
+    }
+    // Batched Mu: same amortization on the crash-only baseline.
+    let cfg = SimConfig::paper_default(SEED).with_max_request(64);
+    let mut app = NoopApp::new();
+    for batch in [1usize, 16] {
+        let s = ubft_runtime::baselines::run_mu_batched(
+            &cfg,
+            &mut app,
+            make_workload("noop", 32),
+            samples.min(500),
+            WARMUP.min(50),
+            batch,
+        );
+        let kreq = batch as f64 / s.mean().as_micros_f64() * 1_000.0;
+        out.push_str(&format!(
+            "mu/{batch:<4} batch_lat {:.2} us -> {kreq:.1} kreq/s\n",
+            us(s.mean())
+        ));
+    }
+    out.push_str("(one slot amortizes its PREPARE + WILL_* rounds over the whole batch)\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +550,27 @@ mod tests {
     fn table2_rows_scale_with_tail() {
         let out = table2();
         assert_eq!(out.lines().count(), 2 + 8);
+    }
+
+    #[test]
+    fn batch_sweep_shows_amortization() {
+        let out = batch_sweep(300);
+        // Header + eager row + 4 sweep rows + 2 Mu rows + footnote.
+        assert_eq!(out.lines().count(), 2 + 1 + 4 + 2 + 1);
+        let kreq = |prefix: &str| -> f64 {
+            out.lines()
+                .find(|l| l.starts_with(prefix))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|v| v.parse().ok())
+                .expect("sweep row")
+        };
+        // The acceptance bar: batch >= 16 clearly beats one request per slot.
+        assert!(
+            kreq("16 ") > 1.5 * kreq("1 "),
+            "batch=16 ({}) should beat batch=1 ({})",
+            kreq("16 "),
+            kreq("1 ")
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use ubft_crypto::{Certificate, Digest, KeyRing, Signer};
 use ubft_types::{ClusterParams, ProcessId, ReplicaId, RequestId, SeqId, Slot, View};
 
 use crate::msg::{
-    summary_sign_bytes, vc_sign_bytes, CheckpointCert, CheckpointData, CommitCert, CtbMsg,
+    summary_sign_bytes, vc_sign_bytes, Batch, CheckpointCert, CheckpointData, CommitCert, CtbMsg,
     DirectMsg, Prepare, Request, StateSummary, TbMsg, VcCert,
 };
 
@@ -44,13 +44,28 @@ pub struct EngineConfig {
     /// (§5.4's protection against Byzantine clients that send a request
     /// only to the leader). Disabled in the echo ablation.
     pub echo_round: bool,
+    /// Most requests the leader packs into one consensus slot. `1` proposes
+    /// every request in its own slot (the unbatched paper prototype);
+    /// larger values amortize the fixed per-slot protocol cost over many
+    /// requests (Fig. 10/11 throughput).
+    pub max_batch: usize,
+    /// Most slots the leader keeps in flight (proposed but not yet
+    /// executed) at once. While the pipeline is full, ready requests
+    /// accumulate in the proposal queue — which is exactly what lets
+    /// batches larger than one form under load. The default (the full
+    /// consensus window) never binds, reproducing the eager unpipelined
+    /// proposer exactly.
+    pub pipeline_depth: usize,
 }
 
 impl EngineConfig {
-    /// Deployed defaults for the given cluster parameters.
+    /// Deployed defaults for the given cluster parameters: unbatched
+    /// (`max_batch = 1`), with the pipeline bounded only by the consensus
+    /// window.
     pub fn new(params: ClusterParams, path: PathMode) -> Self {
         let summary_half = (params.tail / 2).max(1) as u64;
-        EngineConfig { params, path, summary_half, echo_round: true }
+        let pipeline_depth = params.window;
+        EngineConfig { params, path, summary_half, echo_round: true, max_batch: 1, pipeline_depth }
     }
 }
 
@@ -225,7 +240,7 @@ struct SlotState {
     sent_commit: bool,
     /// Replicas whose COMMIT (with matching prepare) we delivered.
     commit_from: BTreeSet<ReplicaId>,
-    decided: Option<Request>,
+    decided: Option<Batch>,
 }
 
 /// A point-in-time snapshot of an engine's protocol state, for operator
@@ -244,6 +259,8 @@ pub struct EngineDiag {
     pub exec_next: Slot,
     /// Leader only: next proposal slot.
     pub next_slot: Slot,
+    /// Leader only: slots proposed but not yet executed (pipeline fill).
+    pub in_flight: u64,
     /// Stable checkpoint base.
     pub checkpoint_base: Slot,
     /// Requests seen but not yet executed.
@@ -266,7 +283,7 @@ impl std::fmt::Display for EngineDiag {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "r{} view={} sealing={:?} decided={} exec_next={} next_slot={} cp={} \
+            "r{} view={} sealing={:?} decided={} exec_next={} next_slot={} in_flight={} cp={} \
              outstanding={} queue={} open_prepares={} ctb sent/summarized/queued={}/{}/{} byz={}",
             self.me.0,
             self.view.0,
@@ -274,6 +291,7 @@ impl std::fmt::Display for EngineDiag {
             self.decided,
             self.exec_next.0,
             self.next_slot.0,
+            self.in_flight,
             self.checkpoint_base.0,
             self.outstanding,
             self.propose_queue,
@@ -324,6 +342,11 @@ pub struct Engine {
     echoes: HashMap<RequestId, BTreeSet<ReplicaId>>,
     /// Leader: requests ready to propose.
     propose_queue: VecDeque<Request>,
+    /// Leader: queued requests that must be proposed in a slot of their own
+    /// because the echo round never completed for them (§5.4). Co-batching
+    /// one with fully-echoed requests would make followers hold the whole
+    /// prepare and knock every request in the batch off the fast path.
+    propose_solo: HashSet<RequestId>,
     /// Requests already proposed/decided (dedup).
     proposed: HashSet<RequestId>,
     /// Summary gating (Algorithm 4).
@@ -382,6 +405,7 @@ impl Engine {
             last_exec_seq: HashMap::new(),
             echoes: HashMap::new(),
             propose_queue: VecDeque::new(),
+            propose_solo: HashSet::new(),
             proposed: HashSet::new(),
             my_ctb_sent: 0,
             summary_done_upto: 0,
@@ -449,6 +473,7 @@ impl Engine {
             decided: self.decide_count,
             exec_next: self.exec_next,
             next_slot: self.next_slot,
+            in_flight: self.in_flight_slots(),
             checkpoint_base: self.checkpoint.data.base,
             outstanding: self.outstanding.len(),
             propose_queue: self.propose_queue.len(),
@@ -604,6 +629,10 @@ impl Engine {
         if self.is_leader() && !self.proposed.contains(&id) {
             if let Some(req) = self.seen_requests.get(&id).cloned() {
                 self.proposed.insert(id);
+                // Some follower may never have seen this request (that is
+                // why the timer fired); keep it out of shared batches so
+                // only its own slot is held under §5.4.
+                self.propose_solo.insert(id);
                 self.propose_queue.push_back(req);
             }
         }
@@ -629,6 +658,12 @@ impl Engine {
         }
     }
 
+    /// Slots this leader has proposed but not yet executed — the pipeline
+    /// fill the `pipeline_depth` gate bounds.
+    fn in_flight_slots(&self) -> u64 {
+        self.next_slot.0.saturating_sub(self.exec_next.0)
+    }
+
     fn propose_ready(&mut self, fx: &mut Vec<Effect>) {
         if !self.is_leader() || self.sealing.is_some() {
             return;
@@ -645,11 +680,34 @@ impl Engine {
         if self.next_slot < lo {
             self.next_slot = lo;
         }
-        while self.next_slot < hi {
-            let Some(req) = self.propose_queue.pop_front() else { break };
+        let depth = self.cfg.pipeline_depth.max(1) as u64;
+        let max_batch = self.cfg.max_batch.max(1);
+        while self.next_slot < hi
+            && !self.propose_queue.is_empty()
+            && self.in_flight_slots() < depth
+        {
+            // Flush up to `max_batch` queued requests into one slot. While
+            // the pipeline is full the queue keeps growing, so under load
+            // batches widen toward `max_batch` on their own. Requests whose
+            // echo round timed out go alone: the flush stops at (or takes
+            // exactly) the first solo request.
+            let mut take = 0;
+            for req in self.propose_queue.iter().take(max_batch) {
+                if self.propose_solo.contains(&req.id) {
+                    if take == 0 {
+                        take = 1;
+                    }
+                    break;
+                }
+                take += 1;
+            }
+            let reqs: Vec<Request> = self.propose_queue.drain(..take).collect();
+            for req in &reqs {
+                self.propose_solo.remove(&req.id);
+            }
             let slot = self.next_slot;
             self.next_slot = self.next_slot.next();
-            let prepare = Prepare { view: self.view, slot, req };
+            let prepare = Prepare { view: self.view, slot, batch: Batch::new(reqs) };
             self.emit_ctb(fx, CtbMsg::Prepare(prepare));
         }
     }
@@ -773,7 +831,7 @@ impl Engine {
                         return Err("prepare before new-view".into());
                     };
                     if let Some(required) = must_propose(prep.slot, &certs) {
-                        if required.digest() != prep.req.digest() {
+                        if required.digest() != prep.batch.digest() {
                             return Err(format!(
                                 "prepare for {} ignores committed value",
                                 prep.slot
@@ -866,10 +924,7 @@ impl Engine {
         }
         // §5.4: endorse only requests received directly from the client
         // (no-ops and view-change re-proposals are exempt).
-        if !prep.req.is_noop()
-            && prep.view == View(0)
-            && !self.seen_requests.contains_key(&prep.req.id)
-        {
+        if prep.view == View(0) && !batch_endorsed(&prep.batch, &self.seen_requests) {
             let entry = self.slots.entry(prep.slot).or_default();
             entry.held_prepare = Some(prep);
             return;
@@ -886,7 +941,7 @@ impl Engine {
                 let ok = s
                     .held_prepare
                     .as_ref()
-                    .is_some_and(|p| self.seen_requests.contains_key(&p.req.id));
+                    .is_some_and(|p| batch_endorsed(&p.batch, &self.seen_requests));
                 if ok {
                     s.held_prepare.take()
                 } else {
@@ -988,7 +1043,7 @@ impl Engine {
                         .and_then(|ps| ps.prepares.get(&slot))
                         .cloned();
                     if let Some(prep) = leader_prep {
-                        fx.extend(self.decide(slot, prep.req));
+                        fx.extend(self.decide(slot, prep.batch));
                     }
                 }
             }
@@ -1096,33 +1151,44 @@ impl Engine {
         let entry = self.slots.entry(slot).or_default();
         entry.commit_from.insert(stream);
         if entry.commit_from.len() >= self.quorum() {
-            let req = c.prepare.req.clone();
-            fx.extend(self.decide(slot, req));
+            let batch = c.prepare.batch.clone();
+            fx.extend(self.decide(slot, batch));
         }
     }
 
-    fn decide(&mut self, slot: Slot, req: Request) -> Vec<Effect> {
+    fn decide(&mut self, slot: Slot, batch: Batch) -> Vec<Effect> {
         let mut fx = Vec::new();
         let entry = self.slots.entry(slot).or_default();
         if entry.decided.is_some() {
             return fx;
         }
-        entry.decided = Some(req);
-        self.decide_count += 1;
+        // `decide_count` counts individual requests, not slots, so batching
+        // leaves the progress-watchdog and throughput accounting comparable
+        // across batch sizes.
+        self.decide_count += batch.len() as u64;
+        entry.decided = Some(batch);
         self.vc_streak = 0;
         self.try_execute(&mut fx);
+        // Executed slots leave the pipeline; the gate may have reopened.
+        self.propose_ready(&mut fx);
         fx
     }
 
     fn try_execute(&mut self, fx: &mut Vec<Effect>) {
-        while let Some(req) = self.slots.get(&self.exec_next).and_then(|s| s.decided.clone()) {
-            self.outstanding.remove(&req.id);
-            // A request re-proposed across views may occupy two slots; only
-            // its first occurrence executes (PBFT-style last-reply dedup).
-            if !self.already_executed(&req.id) {
-                let hi = self.last_exec_seq.entry(req.id.client).or_insert(0);
-                *hi = (*hi).max(req.id.seq + 1);
-                fx.push(Effect::Execute { slot: self.exec_next, req });
+        // The batch clone releases the `self.slots` borrow; each request is
+        // then *moved* into its Execute effect rather than cloned again.
+        while let Some(batch) = self.slots.get(&self.exec_next).and_then(|s| s.decided.clone()) {
+            for req in batch.into_requests() {
+                self.outstanding.remove(&req.id);
+                self.propose_solo.remove(&req.id);
+                // A request re-proposed across views may occupy two slots;
+                // only its first occurrence executes (PBFT-style last-reply
+                // dedup).
+                if !self.already_executed(&req.id) {
+                    let hi = self.last_exec_seq.entry(req.id.client).or_insert(0);
+                    *hi = (*hi).max(req.id.seq + 1);
+                    fx.push(Effect::Execute { slot: self.exec_next, req });
+                }
             }
             self.exec_next = self.exec_next.next();
         }
@@ -1507,8 +1573,8 @@ impl Engine {
                 if self.slots.get(&slot).is_some_and(|st| st.decided.is_some()) {
                     continue;
                 }
-                let req = must_propose(slot, &certs).unwrap_or_else(|| Request::noop(slot));
-                self.emit_ctb(&mut fx, CtbMsg::Prepare(Prepare { view, slot, req }));
+                let batch = must_propose(slot, &certs).unwrap_or_else(|| Batch::noop(slot));
+                self.emit_ctb(&mut fx, CtbMsg::Prepare(Prepare { view, slot, batch }));
                 if self.next_slot <= slot {
                     self.next_slot = slot.next();
                 }
@@ -1641,15 +1707,24 @@ impl Prepare {
     }
 }
 
-/// Algorithm 3 lines 25–27: the request the new leader is forced to propose
-/// for `slot`, if any certificate carries a COMMIT for it (highest view
-/// wins).
-pub fn must_propose(slot: Slot, certs: &[VcCert]) -> Option<Request> {
+/// §5.4 endorsement predicate, shared by the hold (in `handle_prepare`) and
+/// release (in `retry_held_prepares`) sides so they can never diverge: every
+/// non-noop request in the batch must have been received directly from its
+/// client.
+fn batch_endorsed(batch: &Batch, seen: &HashMap<RequestId, Request>) -> bool {
+    batch.requests().iter().all(|r| r.is_noop() || seen.contains_key(&r.id))
+}
+
+/// Algorithm 3 lines 25–27: the request batch the new leader is forced to
+/// propose for `slot`, if any certificate carries a COMMIT for it (highest
+/// view wins). Batches survive view changes whole — a partially re-proposed
+/// batch would change the slot's digest and violate agreement.
+pub fn must_propose(slot: Slot, certs: &[VcCert]) -> Option<Batch> {
     certs
         .iter()
         .filter_map(|c| {
             c.summary.commits.iter().find(|(s, _)| *s == slot).map(|(_, commit)| commit)
         })
         .max_by_key(|commit| commit.prepare.view)
-        .map(|commit| commit.prepare.req.clone())
+        .map(|commit| commit.prepare.batch.clone())
 }

@@ -46,6 +46,100 @@ impl Wire for Request {
     }
 }
 
+/// An ordered, non-empty group of client requests decided by *one* consensus
+/// slot.
+///
+/// Batching is the throughput lever of the paper's evaluation (Figures
+/// 10/11): the fixed per-slot protocol cost — one PREPARE on the leader's
+/// CTBcast stream, two all-to-all `WILL_*` rounds, one COMMIT — is paid once
+/// per batch instead of once per request. Replicas execute the requests of a
+/// decided batch strictly in batch order, so a batch is semantically
+/// equivalent to deciding its requests in consecutive slots.
+///
+/// Invariants: a batch is never empty, and a view-change filler is a batch
+/// holding exactly one [`Request::noop`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Batch {
+    reqs: Vec<Request>,
+}
+
+impl Batch {
+    /// Creates a batch from an ordered, non-empty request list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reqs` is empty (an empty proposal is meaningless; use
+    /// [`Batch::noop`] for view-change filler slots).
+    pub fn new(reqs: Vec<Request>) -> Self {
+        assert!(!reqs.is_empty(), "a batch must carry at least one request");
+        Batch { reqs }
+    }
+
+    /// Wraps a single request (the `max_batch = 1` degenerate case, which
+    /// reproduces the unbatched engine exactly).
+    pub fn single(req: Request) -> Self {
+        Batch { reqs: vec![req] }
+    }
+
+    /// The filler batch a new leader proposes for slots it must close but
+    /// for which no request may have been applied (Algorithm 3).
+    pub fn noop(slot: Slot) -> Self {
+        Batch::single(Request::noop(slot))
+    }
+
+    /// Whether this is a view-change filler batch.
+    pub fn is_noop(&self) -> bool {
+        self.reqs.len() == 1 && self.reqs[0].is_noop()
+    }
+
+    /// Number of requests in the batch (always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// Always `false` — kept for API completeness alongside [`Batch::len`].
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// The requests, in decided execution order.
+    pub fn requests(&self) -> &[Request] {
+        &self.reqs
+    }
+
+    /// Consumes the batch, yielding its requests in execution order (the
+    /// hot execution path moves requests out instead of cloning them).
+    pub fn into_requests(self) -> Vec<Request> {
+        self.reqs
+    }
+
+    /// Iterator over the request ids in the batch.
+    pub fn ids(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.reqs.iter().map(|r| r.id)
+    }
+
+    /// Combined content digest covering every request in order; this is what
+    /// certificates bind and what `must_propose` compares across views.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+}
+
+impl Wire for Batch {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_seq(&self.reqs, buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let reqs: Vec<Request> = decode_seq(r)?;
+        if reqs.is_empty() {
+            // An empty batch never appears on an honest stream; reject it at
+            // the codec layer so Byzantine senders are branded upstream.
+            return Err(CodecError::Invalid { ty: "Batch" });
+        }
+        Ok(Batch { reqs })
+    }
+}
+
 /// A reply from a replica to a client.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Reply {
@@ -72,15 +166,15 @@ impl Wire for Reply {
     }
 }
 
-/// A leader's proposal binding `req` to `slot` in `view`.
+/// A leader's proposal binding an ordered request batch to `slot` in `view`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Prepare {
     /// Proposing view.
     pub view: View,
     /// Target consensus slot.
     pub slot: Slot,
-    /// The proposed request.
-    pub req: Request,
+    /// The proposed request batch (one or more requests, decided together).
+    pub batch: Batch,
 }
 
 impl Prepare {
@@ -96,10 +190,10 @@ impl Wire for Prepare {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.view.encode(buf);
         self.slot.encode(buf);
-        self.req.encode(buf);
+        self.batch.encode(buf);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
-        Ok(Prepare { view: View::decode(r)?, slot: Slot::decode(r)?, req: Request::decode(r)? })
+        Ok(Prepare { view: View::decode(r)?, slot: Slot::decode(r)?, batch: Batch::decode(r)? })
     }
 }
 
@@ -520,7 +614,13 @@ mod tests {
     }
 
     fn prepare() -> Prepare {
-        Prepare { view: View(1), slot: Slot(2), req: req() }
+        Prepare { view: View(1), slot: Slot(2), batch: Batch::single(req()) }
+    }
+
+    fn reqs(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request { id: RequestId::new(ClientId(1), i), payload: vec![i as u8; 4] })
+            .collect()
     }
 
     #[test]
@@ -529,6 +629,45 @@ mod tests {
         assert!(n.is_noop());
         assert!(!req().is_noop());
         assert_ne!(Request::noop(Slot(4)).digest(), Request::noop(Slot(5)).digest());
+    }
+
+    #[test]
+    fn noop_batches() {
+        let b = Batch::noop(Slot(4));
+        assert!(b.is_noop());
+        assert_eq!(b.len(), 1);
+        assert!(!Batch::single(req()).is_noop());
+        // A multi-request batch is never a noop, even if it contains one.
+        let mixed = Batch::new(vec![Request::noop(Slot(4)), req()]);
+        assert!(!mixed.is_noop());
+        assert_ne!(Batch::noop(Slot(4)).digest(), Batch::noop(Slot(5)).digest());
+    }
+
+    #[test]
+    fn batch_digest_covers_order_and_content() {
+        let fwd = Batch::new(reqs(3));
+        let mut rev_reqs = reqs(3);
+        rev_reqs.reverse();
+        let rev = Batch::new(rev_reqs);
+        assert_ne!(fwd.digest(), rev.digest(), "order must change the digest");
+        assert_eq!(fwd.digest(), Batch::new(reqs(3)).digest());
+        assert_ne!(fwd.digest(), Batch::new(reqs(2)).digest());
+    }
+
+    #[test]
+    fn batch_roundtrips_and_rejects_empty() {
+        roundtrip(&Batch::single(req()));
+        roundtrip(&Batch::new(reqs(17)));
+        let empty: Vec<Request> = Vec::new();
+        let mut buf = Vec::new();
+        encode_seq(&empty, &mut buf);
+        assert!(Batch::from_bytes(&buf).is_err(), "empty batch must not decode");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn empty_batch_panics() {
+        let _ = Batch::new(Vec::new());
     }
 
     #[test]
@@ -544,6 +683,11 @@ mod tests {
             commits: vec![(Slot(1), CommitCert { prepare: prepare(), cert: Certificate::new() })],
         });
         roundtrip(&CtbMsg::Prepare(prepare()));
+        roundtrip(&CtbMsg::Prepare(Prepare {
+            view: View(0),
+            slot: Slot(7),
+            batch: Batch::new(reqs(64)),
+        }));
         roundtrip(&CtbMsg::SealView { view: View(3) });
         roundtrip(&CtbMsg::NewView { view: View(3), certs: vec![] });
         roundtrip(&TbMsg::WillCertify { view: View(0), slot: Slot(9) });

@@ -38,13 +38,16 @@ impl Net {
     }
 
     fn with_params(path: PathMode, params: ClusterParams) -> Self {
-        let n = params.n();
+        Net::with_config(EngineConfig::new(params, path))
+    }
+
+    /// Builds a net whose engines share an arbitrary configuration (batch
+    /// and pipeline tests tweak `max_batch` / `pipeline_depth`).
+    fn with_config(cfg: EngineConfig) -> Self {
+        let n = cfg.params.n();
         let ring = KeyRing::generate(5, (0..n as u32).map(|i| ProcessId::Replica(ReplicaId(i))));
-        let engines: Vec<Engine> = (0..n as u32)
-            .map(|i| {
-                Engine::new(ReplicaId(i), EngineConfig::new(params.clone(), path), ring.clone())
-            })
-            .collect();
+        let engines: Vec<Engine> =
+            (0..n as u32).map(|i| Engine::new(ReplicaId(i), cfg.clone(), ring.clone())).collect();
         let mut net = Net {
             engines,
             apps: (0..n).map(|_| NoopApp::new()).collect(),
@@ -350,7 +353,7 @@ fn invalid_prepare_brands_leader() {
     let bogus = CtbMsg::Prepare(ubft_core::msg::Prepare {
         view: View(1), // leader of view 1 is replica 1, not replica 0
         slot: Slot(0),
-        req: Request::noop(Slot(0)),
+        batch: ubft_core::msg::Batch::noop(Slot(0)),
     });
     let fx = net.engines[1].on_ctb_deliver(ReplicaId(0), SeqId(1), bogus);
     assert!(
@@ -366,7 +369,10 @@ fn double_prepare_for_same_slot_brands_leader() {
         CtbMsg::Prepare(ubft_core::msg::Prepare {
             view: View(0),
             slot: Slot(0),
-            req: Request { id: RequestId::new(ClientId(9), 0), payload: payload.to_vec() },
+            batch: ubft_core::msg::Batch::single(Request {
+                id: RequestId::new(ClientId(9), 0),
+                payload: payload.to_vec(),
+            }),
         })
     };
     let fx = net.engines[1].on_ctb_deliver(ReplicaId(0), SeqId(1), mk(b"a"));
@@ -545,6 +551,240 @@ fn disabled_echo_round_proposes_immediately() {
         fx.iter().any(|e| matches!(e, Effect::CtbBroadcast(CtbMsg::Prepare(_)))),
         "leader without echo round must propose on direct receipt, got {fx:?}"
     );
+}
+
+fn batched_config(path: PathMode, max_batch: usize, pipeline_depth: usize) -> EngineConfig {
+    let mut cfg = EngineConfig::new(ClusterParams::paper_default(), path);
+    cfg.max_batch = max_batch;
+    cfg.pipeline_depth = pipeline_depth;
+    cfg
+}
+
+#[test]
+fn batches_amortize_slots_and_preserve_order() {
+    // Ten requests, batches of up to 4, one slot in flight: the backlog that
+    // accumulates behind the full pipeline must flush as {r0}, {r1..r4},
+    // {r5..r8}, {r9} — 4 slots instead of 10 — and still execute in
+    // submission order everywhere.
+    let mut net = Net::with_config(batched_config(PathMode::FastOnly, 4, 1));
+    for i in 0..10u64 {
+        net.client_request_no_drain(i, format!("req-{i}").as_bytes());
+    }
+    net.drain();
+    let prepares =
+        net.ctb_log.iter().filter(|(s, m)| *s == 0 && matches!(m, CtbMsg::Prepare(_))).count();
+    assert_eq!(prepares, 4, "expected 4 batched slots for 10 requests");
+    for r in 0..3 {
+        assert_eq!(net.executed[r].len(), 10, "replica {r}");
+        for (i, (_, req)) in net.executed[r].iter().enumerate() {
+            assert_eq!(req.payload, format!("req-{i}").as_bytes());
+        }
+        assert_eq!(net.engines[r].decided_count(), 10, "decided_count counts requests");
+    }
+    net.assert_executed_prefix_agreement();
+}
+
+#[test]
+fn pipeline_depth_bounds_in_flight_slots() {
+    // With an unbounded batch and depth 1, a 10-request backlog collapses
+    // into exactly two slots: the first ready request proposes alone, and
+    // everything that queued behind the full pipeline flushes together.
+    let mut net = Net::with_config(batched_config(PathMode::FastOnly, 64, 1));
+    for i in 0..10u64 {
+        net.client_request_no_drain(i, &i.to_le_bytes());
+    }
+    net.drain();
+    let batch_sizes: Vec<usize> = net
+        .ctb_log
+        .iter()
+        .filter(|(s, _)| *s == 0)
+        .filter_map(|(_, m)| match m {
+            CtbMsg::Prepare(p) => Some(p.batch.len()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(batch_sizes, vec![1, 9]);
+    for r in 0..3 {
+        assert_eq!(net.executed[r].len(), 10, "replica {r}");
+    }
+    net.assert_executed_prefix_agreement();
+}
+
+#[test]
+fn batched_decisions_survive_view_change() {
+    let mut net = Net::with_config(batched_config(PathMode::FastWithFallback, 4, 1));
+    for i in 0..6u64 {
+        net.client_request_no_drain(i, &i.to_le_bytes());
+    }
+    net.drain();
+    for r in 0..3 {
+        assert_eq!(net.executed[r].len(), 6, "replica {r} pre-crash");
+    }
+    net.crashed[0] = true;
+    net.client_request(6, b"after-crash-a");
+    net.client_request(7, b"after-crash-b");
+    net.fire_timers(|k| matches!(k, TimerKind::Progress));
+    net.fire_timers(|k| matches!(k, TimerKind::Progress));
+    net.fire_timers(|k| matches!(k, TimerKind::SlotSlowTrigger(_)));
+    assert_eq!(net.engines[1].view(), View(1));
+    for r in 1..3 {
+        assert_eq!(net.executed[r].len(), 8, "replica {r} post-view-change");
+        assert_eq!(net.executed[r][6].1.payload, b"after-crash-a");
+        assert_eq!(net.executed[r][7].1.payload, b"after-crash-b");
+    }
+    net.assert_executed_prefix_agreement();
+}
+
+#[test]
+fn echo_timeout_requests_are_batched_alone() {
+    // A Byzantine client sends its request only to the leader, so the echo
+    // round never completes and the EchoFallback timer proposes it. That
+    // request must get a slot of its own: co-batching it with fully-echoed
+    // honest requests would make followers hold the whole prepare (§5.4)
+    // and knock the honest requests off the fast path as collateral.
+    let mut net = Net::with_config(batched_config(PathMode::FastOnly, 8, 1));
+    // Honest request 0 reaches everyone and decides (fills the pipeline is
+    // not an issue: it executes within the drain).
+    net.client_request(0, b"honest-0");
+    // Byzantine client: request seen by the leader only.
+    let byz = Request { id: RequestId::new(ClientId(2), 0), payload: b"leader-only".to_vec() };
+    let fx = net.engines[0].on_client_request(byz);
+    net.enqueue(0, fx);
+    net.drain();
+    // Two more honest requests queue up behind it.
+    net.client_request_no_drain(1, b"honest-1");
+    net.client_request_no_drain(2, b"honest-2");
+    net.drain();
+    // The leader proposes the Byzantine request on fallback.
+    net.fire_timers(|k| matches!(k, TimerKind::EchoFallback(_)));
+    // Every honest request executed everywhere — none were trapped in a
+    // held batch with the leader-only request.
+    for r in 0..3 {
+        let payloads: Vec<&[u8]> = net.executed[r].iter().map(|(_, q)| &q.payload[..]).collect();
+        assert!(payloads.contains(&b"honest-0".as_slice()), "replica {r}");
+        assert!(payloads.contains(&b"honest-1".as_slice()), "replica {r}");
+        assert!(payloads.contains(&b"honest-2".as_slice()), "replica {r}");
+    }
+    // The leader-only request rode in a singleton batch (held at followers,
+    // so it never executed on the fast path — but it stalled only itself).
+    let solo_batches: Vec<usize> = net
+        .ctb_log
+        .iter()
+        .filter(|(s, _)| *s == 0)
+        .filter_map(|(_, m)| match m {
+            CtbMsg::Prepare(p)
+                if p.batch.requests().iter().any(|q| q.payload == b"leader-only") =>
+            {
+                Some(p.batch.len())
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(solo_batches, vec![1], "leader-only request must be proposed alone");
+    net.assert_executed_prefix_agreement();
+}
+
+#[test]
+fn batch_flush_stops_before_solo_requests() {
+    // Drive a lone leader engine by hand: with the pipeline full, the queue
+    // accumulates [h1, byz, h2] where `byz` was proposed via echo timeout.
+    // Each decide reopens one pipeline slot; the flushes must come out as
+    // {h1}, {byz}, {h2} — never co-batching `byz` with an honest request.
+    let ring = KeyRing::generate(5, (0..3u32).map(|i| ProcessId::Replica(ReplicaId(i))));
+    let mut cfg = EngineConfig::new(ClusterParams::paper_default(), PathMode::FastOnly);
+    cfg.max_batch = 8;
+    cfg.pipeline_depth = 1;
+    let mut leader = Engine::new(ReplicaId(0), cfg, ring);
+    let _ = leader.start();
+    let mk = |c: u32, s: u64, p: &[u8]| Request {
+        id: RequestId::new(ClientId(c), s),
+        payload: p.to_vec(),
+    };
+    // Self-delivers every CtbBroadcast (the loopback the full harness does)
+    // and reports the proposed batches, in order.
+    let mut k = 1u64;
+    let mut batches_in = move |leader: &mut Engine, mut fx: Vec<Effect>| -> Vec<Vec<Vec<u8>>> {
+        let mut batches = Vec::new();
+        let mut i = 0;
+        while i < fx.len() {
+            if let Effect::CtbBroadcast(msg) = fx[i].clone() {
+                if let CtbMsg::Prepare(p) = &msg {
+                    batches.push(
+                        p.batch.requests().iter().map(|q| q.payload.clone()).collect::<Vec<_>>(),
+                    );
+                }
+                let more = leader.on_ctb_deliver(ReplicaId(0), SeqId(k), msg);
+                k += 1;
+                fx.extend(more);
+            }
+            i += 1;
+        }
+        batches
+    };
+    let echoed = |leader: &mut Engine, req: Request| -> Vec<Effect> {
+        let mut fx = leader.on_client_request(req.clone());
+        fx.extend(leader.on_echo(ReplicaId(1), req.clone()));
+        fx.extend(leader.on_echo(ReplicaId(2), req));
+        fx
+    };
+    // Decides `slot` on the leader by injecting both fast-path rounds.
+    let decide = |leader: &mut Engine, slot: Slot| -> Vec<Effect> {
+        let mut fx = Vec::new();
+        for r in 0..3u32 {
+            let m = ubft_core::msg::TbMsg::WillCertify { view: View(0), slot };
+            fx.extend(leader.on_tb_deliver(ReplicaId(r), m));
+        }
+        for r in 0..3u32 {
+            let m = ubft_core::msg::TbMsg::WillCommit { view: View(0), slot };
+            fx.extend(leader.on_tb_deliver(ReplicaId(r), m));
+        }
+        fx
+    };
+
+    // h0 fills the single pipeline slot.
+    let fx = echoed(&mut leader, mk(1, 0, b"h0"));
+    assert_eq!(batches_in(&mut leader, fx), vec![vec![b"h0".to_vec()]]);
+    // h1 queues (pipeline full), then byz via echo timeout, then h2.
+    let byz = mk(2, 0, b"byz");
+    let fx = echoed(&mut leader, mk(1, 1, b"h1"));
+    assert!(batches_in(&mut leader, fx).is_empty());
+    let mut fx = leader.on_client_request(byz.clone());
+    fx.extend(leader.on_timer(TimerKind::EchoFallback(byz.id)));
+    assert!(batches_in(&mut leader, fx).is_empty());
+    let fx = echoed(&mut leader, mk(1, 2, b"h2"));
+    assert!(batches_in(&mut leader, fx).is_empty());
+
+    // Deciding h0's slot flushes h1 alone: the flush stops *before* byz.
+    let fx = decide(&mut leader, Slot(0));
+    assert_eq!(batches_in(&mut leader, fx), vec![vec![b"h1".to_vec()]]);
+    // Deciding h1's slot flushes byz in a slot of its own.
+    let fx = decide(&mut leader, Slot(1));
+    assert_eq!(batches_in(&mut leader, fx), vec![vec![b"byz".to_vec()]]);
+    // And h2 follows normally.
+    let fx = decide(&mut leader, Slot(2));
+    assert_eq!(batches_in(&mut leader, fx), vec![vec![b"h2".to_vec()]]);
+}
+
+#[test]
+fn unbatched_config_proposes_one_request_per_slot() {
+    // max_batch = 1 with the default (window-wide) pipeline reproduces the
+    // unbatched engine: every request gets its own slot.
+    let mut net = Net::new(PathMode::FastOnly);
+    for i in 0..10u64 {
+        net.client_request_no_drain(i, &i.to_le_bytes());
+    }
+    net.drain();
+    let batch_sizes: Vec<usize> = net
+        .ctb_log
+        .iter()
+        .filter(|(s, _)| *s == 0)
+        .filter_map(|(_, m)| match m {
+            CtbMsg::Prepare(p) => Some(p.batch.len()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(batch_sizes, vec![1; 10]);
+    net.assert_executed_prefix_agreement();
 }
 
 #[test]

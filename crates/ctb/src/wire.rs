@@ -167,6 +167,17 @@ mod tests {
     }
 
     #[test]
+    fn batch_sized_payloads_roundtrip() {
+        // CTBcast payloads are opaque, so a 64-request batch of 2 KiB
+        // requests (the largest proposal the batched engine emits at the
+        // paper-default request size) must frame and roundtrip unchanged.
+        let batch_bytes: Vec<u8> = (0..64 * 2048u32).map(|i| (i * 31 % 251) as u8).collect();
+        roundtrip(&CtbWire::Lock { k: SeqId(7), m: batch_bytes.clone() });
+        roundtrip(&TbFrame::Data(TbWire { k: SeqId(7), payload: batch_bytes.clone() }));
+        assert_eq!(fingerprint(&batch_bytes), fingerprint(&batch_bytes));
+    }
+
+    #[test]
     fn signed_bytes_domain_separated() {
         let fp = fingerprint(b"m");
         let a = signed_bytes(ReplicaId(0), SeqId(1), &fp);

@@ -50,6 +50,15 @@ pub struct SimConfig {
     /// `None` keeps the paper's `t/2` double-buffering; `Some(t)` is the
     /// single-buffered ablation.
     pub summary_every: Option<u64>,
+    /// Most requests the leader packs into one consensus slot
+    /// ([`EngineConfig::max_batch`](ubft_core::engine::EngineConfig)).
+    /// `1` — the default — reproduces the unbatched paper prototype.
+    pub max_batch: usize,
+    /// Most slots the leader keeps in flight (proposed but not yet
+    /// executed). `None` — the default — bounds the pipeline only by the
+    /// consensus window, which never binds; small values make the backlog
+    /// queue up so batches actually form under load.
+    pub pipeline_depth: Option<usize>,
 }
 
 impl SimConfig {
@@ -70,6 +79,8 @@ impl SimConfig {
             echo_round: true,
             n_clients: 1,
             summary_every: None,
+            max_batch: 1,
+            pipeline_depth: None,
         }
     }
 
@@ -125,16 +136,47 @@ impl SimConfig {
         self
     }
 
-    /// Channel slot payload for CTBcast lanes: one request plus certificate
-    /// and header headroom (checked at send time).
+    /// Sets the per-slot request batch bound (the Fig. 10/11 throughput
+    /// lever). Combine with [`SimConfig::with_pipeline_depth`] so a backlog
+    /// builds and batches wider than one actually form.
+    #[must_use]
+    pub fn with_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Bounds the leader's proposal pipeline to `depth` in-flight slots.
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = Some(depth.max(1));
+        self
+    }
+
+    /// Encoded per-request wire overhead inside a batch beyond the payload
+    /// itself (request id + length prefixes, generously rounded): what keeps
+    /// a full batch of maximum-size requests under the slot assert in
+    /// `ubft_transport` even at extreme `max_batch`.
+    const PER_REQUEST_OVERHEAD: usize = 64;
+
+    /// Bytes a full batch can occupy on the wire (payloads plus per-request
+    /// framing; the first request's framing is covered by the fixed slot
+    /// headroom, keeping `max_batch = 1` sizing identical to the unbatched
+    /// engine).
+    fn batch_bytes(&self) -> usize {
+        let b = self.max_batch.max(1);
+        b * self.params.max_request_bytes + (b - 1) * Self::PER_REQUEST_OVERHEAD
+    }
+
+    /// Channel slot payload for CTBcast lanes: one request batch plus
+    /// certificate and header headroom (checked at send time).
     pub fn slot_payload(&self) -> usize {
-        self.params.max_request_bytes + 4096
+        self.batch_bytes() + 4096
     }
 
     /// Channel slot payload for consensus-TB and direct lanes, which carry
-    /// bounded state summaries (up to 4 commits, each wrapping a request).
+    /// bounded state summaries (up to 4 commits, each wrapping a batch).
     pub fn wide_slot_payload(&self) -> usize {
-        6 * self.params.max_request_bytes + 8192
+        6 * self.batch_bytes() + 8192
     }
 }
 
@@ -157,5 +199,46 @@ mod tests {
         assert_eq!(c.path, PathMode::FastOnly);
         assert_eq!(c.params.tail, 16);
         assert_eq!(c.params.max_request_bytes, 64);
+    }
+
+    #[test]
+    fn batch_builders_scale_slot_sizing() {
+        let base = SimConfig::paper_default(1);
+        assert_eq!(base.max_batch, 1);
+        assert_eq!(base.pipeline_depth, None);
+        let batched = SimConfig::paper_default(1).with_batch(16).with_pipeline_depth(4);
+        assert_eq!(batched.max_batch, 16);
+        assert_eq!(batched.pipeline_depth, Some(4));
+        // CTBcast slots must fit a full batch of maximum-size requests,
+        // including each extra request's wire framing.
+        assert_eq!(
+            batched.slot_payload(),
+            base.slot_payload()
+                + 15 * (base.params.max_request_bytes + SimConfig::PER_REQUEST_OVERHEAD)
+        );
+        assert!(batched.wide_slot_payload() > base.wide_slot_payload());
+        // `max_batch = 1` sizing is byte-identical to the unbatched engine.
+        assert_eq!(SimConfig::paper_default(1).with_batch(1).slot_payload(), base.slot_payload());
+        // An extreme batch of maximum-size requests still fits its slot:
+        // encode a worst-case batch and compare against the capacity.
+        {
+            use ubft_core::msg::{Batch, CtbMsg, Prepare, Request};
+            use ubft_types::wire::Wire;
+            use ubft_types::{ClientId, RequestId, Slot, View};
+            let cfg = SimConfig::paper_default(1).with_batch(256);
+            let reqs: Vec<Request> = (0..256)
+                .map(|i| Request {
+                    id: RequestId::new(ClientId(u32::MAX - 1), i),
+                    payload: vec![0xA5; cfg.params.max_request_bytes],
+                })
+                .collect();
+            let msg =
+                CtbMsg::Prepare(Prepare { view: View(0), slot: Slot(0), batch: Batch::new(reqs) });
+            assert!(msg.to_bytes().len() <= cfg.slot_payload());
+        }
+        // Degenerate values are clamped, not rejected.
+        let clamped = SimConfig::paper_default(1).with_batch(0).with_pipeline_depth(0);
+        assert_eq!(clamped.max_batch, 1);
+        assert_eq!(clamped.pipeline_depth, Some(1));
     }
 }

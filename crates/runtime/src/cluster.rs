@@ -237,6 +237,10 @@ impl Cluster {
                 if let Some(every) = cfg.summary_every {
                     ecfg.summary_half = every;
                 }
+                ecfg.max_batch = cfg.max_batch.max(1);
+                if let Some(depth) = cfg.pipeline_depth {
+                    ecfg.pipeline_depth = depth.max(1);
+                }
                 Engine::new(ReplicaId(i), ecfg, ring.clone())
             })
             .collect();
@@ -439,6 +443,12 @@ impl Cluster {
     /// The view replica `r` is in.
     pub fn view_of(&self, r: usize) -> View {
         self.engines[r].view()
+    }
+
+    /// Individual requests replica `r` has decided (batches count their
+    /// contents, so this is comparable across batch sizes).
+    pub fn decided_of(&self, r: usize) -> u64 {
+        self.engines[r].decided_count()
     }
 
     /// Total disaggregated-memory bytes occupied on one memory node by the
@@ -698,11 +708,13 @@ impl Cluster {
         // uniform sends; hand-craft a poisoned variant for odd receivers.
         let (k, tfx) = self.ctb_tx[r][r].broadcast(wire.to_bytes());
         let mut alt = prep.clone();
-        if alt.req.payload.is_empty() {
-            alt.req.payload.push(0xFF);
+        let mut reqs = alt.batch.requests().to_vec();
+        if reqs[0].payload.is_empty() {
+            reqs[0].payload.push(0xFF);
         } else {
-            alt.req.payload[0] ^= 0xFF;
+            reqs[0].payload[0] ^= 0xFF;
         }
+        alt.batch = ubft_core::msg::Batch::new(reqs);
         let alt_wire = CtbWire::Lock { k, m: CtbMsg::Prepare(alt).to_bytes() };
         for e in tfx {
             match e {
@@ -1213,6 +1225,71 @@ mod tests {
             "interleaving gained only {:.2}x",
             tput(&two) / tput(&one)
         );
+    }
+
+    #[test]
+    fn batching_raises_throughput_with_many_clients() {
+        // 32 closed-loop clients keep a deep backlog; a narrow pipeline with
+        // wide batches must beat one-request-per-slot on requests/sec while
+        // every replica still executes the same totals.
+        let run = |batch: usize| {
+            let cfg = SimConfig::paper_default(11)
+                .fast_only()
+                .with_clients(32)
+                .with_pipeline_depth(2)
+                .with_batch(batch);
+            let mut cluster = Cluster::new(cfg, flip_apps(3), payload32());
+            let report = cluster.run(400, 40);
+            let digests: Vec<_> = (0..3).map(|r| cluster.app_digest(r)).collect();
+            (report, digests)
+        };
+        let (unbatched, d1) = run(1);
+        let (batched, d16) = run(16);
+        assert_eq!(unbatched.completed, 440);
+        assert_eq!(batched.completed, 440);
+        // Safety first: correct replicas agree among themselves in each run.
+        assert!(d1.windows(2).all(|w| w[0] == w[1]));
+        assert!(d16.windows(2).all(|w| w[0] == w[1]));
+        let tput = |r: &RunReport| r.completed as f64 / r.end.since(Time::ZERO).as_nanos() as f64;
+        assert!(
+            tput(&batched) > 1.3 * tput(&unbatched),
+            "batching gained only {:.2}x",
+            tput(&batched) / tput(&unbatched)
+        );
+    }
+
+    #[test]
+    fn default_config_batches_are_singletons() {
+        // The defaults (max_batch = 1, window-wide pipeline) must behave
+        // exactly like the unbatched engine: same per-request counters as a
+        // config that spells the degenerate values out explicitly.
+        let run = |cfg: SimConfig| {
+            let mut cluster = Cluster::new(cfg, flip_apps(3), payload32());
+            let report = cluster.run(100, 10);
+            let digest = cluster.app_digest(0);
+            (report.counters, report.completed, digest)
+        };
+        let implicit = run(SimConfig::paper_default(9).fast_only());
+        let explicit = run(SimConfig::paper_default(9).fast_only().with_batch(1));
+        assert_eq!(implicit, explicit);
+    }
+
+    #[test]
+    fn unit_batch_unit_pipeline_reproduces_unbatched_run_bit_for_bit() {
+        // A single closed-loop client keeps at most one slot in flight, so
+        // `max_batch = 1, pipeline_depth = 1` must be indistinguishable from
+        // the default engine down to every counter, latency sample, and the
+        // application digest.
+        let run = |cfg: SimConfig| {
+            let mut cluster = Cluster::new(cfg, flip_apps(3), payload32());
+            let report = cluster.run(150, 15);
+            let digests: Vec<_> = (0..3).map(|r| cluster.app_digest(r)).collect();
+            (report.counters, report.completed, report.end, report.latency.mean(), digests)
+        };
+        let seed_like = run(SimConfig::paper_default(21).fast_only());
+        let degenerate =
+            run(SimConfig::paper_default(21).fast_only().with_batch(1).with_pipeline_depth(1));
+        assert_eq!(seed_like, degenerate);
     }
 
     #[test]

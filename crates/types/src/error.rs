@@ -32,6 +32,12 @@ pub enum CodecError {
         /// The claimed length.
         len: usize,
     },
+    /// The bytes decoded structurally but the value violates a type
+    /// invariant (e.g. an empty request batch).
+    Invalid {
+        /// The type being decoded.
+        ty: &'static str,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -47,6 +53,7 @@ impl fmt::Display for CodecError {
             CodecError::LengthOverflow { len } => {
                 write!(f, "container length {len} exceeds hostile-input bound")
             }
+            CodecError::Invalid { ty } => write!(f, "decoded value violates {ty} invariant"),
         }
     }
 }

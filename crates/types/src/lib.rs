@@ -16,6 +16,8 @@
 //! assert_eq!(t.as_nanos(), 10_000);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod error;
 pub mod ids;

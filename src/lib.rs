@@ -37,6 +37,48 @@
 //! assert_eq!(report.counters.ctb_signs, 0);
 //! ```
 //!
+//! More runnable entry points live in `examples/` at the repository root:
+//! `quickstart` (the snippet above), `kv_store`, `order_matching`,
+//! `crash_failover`, and `byzantine_leader` — run any of them with
+//! `cargo run --release --example <name>`.
+//!
+//! # Batching and pipelining
+//!
+//! One consensus slot can decide a whole *batch* of requests
+//! ([`core::msg::Batch`]), amortizing the fixed per-slot protocol cost —
+//! the throughput lever of the paper's Figures 10/11. Two knobs control
+//! it: [`runtime::SimConfig::with_batch`] bounds how many requests share
+//! a slot, and [`runtime::SimConfig::with_pipeline_depth`] bounds how many
+//! slots the leader keeps in flight (a *narrow* pipeline is what lets a
+//! backlog accumulate so batches actually form). The defaults — batch 1,
+//! window-wide pipeline — reproduce the unbatched engine exactly.
+//!
+//! ```
+//! use ubft::runtime::cluster::Cluster;
+//! use ubft::runtime::SimConfig;
+//! use ubft_apps::FlipApp;
+//! use ubft_core::app::App;
+//!
+//! // Eight concurrent clients, at most two slots in flight, up to four
+//! // requests per slot: the backlog behind the full pipeline flushes as
+//! // multi-request batches.
+//! let cfg = SimConfig::paper_default(7)
+//!     .fast_only()
+//!     .with_clients(8)
+//!     .with_pipeline_depth(2)
+//!     .with_batch(4);
+//! let apps: Vec<Box<dyn App>> =
+//!     (0..3).map(|_| Box::new(FlipApp::new()) as Box<dyn App>).collect();
+//! let workload = Box::new(|i: u64| i.to_le_bytes().to_vec());
+//!
+//! let mut cluster = Cluster::new(cfg, apps, workload);
+//! let report = cluster.run(80, 8);
+//! assert_eq!(report.completed, 88);
+//! // Batches count their contents: every completed request was decided
+//! // (requests still in flight when the run stops may add a few more).
+//! assert!(cluster.decided_of(0) >= 88);
+//! ```
+//!
 //! Inject failures — crashes, partitions, asynchrony, or Byzantine
 //! behaviour — through [`sim::failure::FailurePlan`] on the same config;
 //! see `tests/byzantine.rs` for the full fault-injection suite and
@@ -58,6 +100,13 @@
 //! | [`apps`] | Flip, KV store, order-matching engine | §7.1 |
 //! | [`mu`], [`minbft`] | the crash-only and SGX-counter baselines | §7.2 |
 //! | [`runtime`] | the simulated deployment wiring everything together | §7 |
+//!
+//! `ARCHITECTURE.md` at the repository root walks through the same layers
+//! in depth: the dependency DAG between the crates, the sans-IO
+//! `Effect`-driven engine loop, and where request batching and the
+//! proposal pipeline sit in it.
+
+#![deny(missing_docs)]
 
 pub use ubft_apps as apps;
 pub use ubft_core as core;
