@@ -6,6 +6,10 @@
 //! * [`orderbook::OrderBookApp`] — a Liquibook-style price-time-priority
 //!   financial order matching engine.
 //!
+//! [`router::ShardRouter`] maps requests onto sharded consensus groups:
+//! keyed operations go to `FNV-1a(key) mod groups`, keyless payloads
+//! round-robin.
+//!
 //! All three are genuine deterministic implementations of the
 //! [`ubft_core::App`] trait. Each carries a calibrated per-request CPU cost
 //! so the *unreplicated* end-to-end latencies land near the paper's Figure 7
@@ -16,8 +20,10 @@
 pub mod flip;
 pub mod kv;
 pub mod orderbook;
+pub mod router;
 pub mod workload;
 
 pub use flip::FlipApp;
 pub use kv::{KvApp, KvFrontend, KvOp};
 pub use orderbook::{OrderBookApp, OrderOp};
+pub use router::ShardRouter;

@@ -1,0 +1,138 @@
+//! Key-hash request routing across sharded consensus groups.
+//!
+//! uBFT keeps each replica group small (`2f + 1` replicas, bounded memory)
+//! precisely so that *many* groups can share one pool of disaggregated
+//! memory. [`ShardRouter`] is the client-side half of that deployment
+//! story: it maps each request to the consensus group that owns its slice
+//! of the key space. Keyed requests (anything that parses as a
+//! [`KvOp`]) route by an FNV-1a hash of the key, so the
+//! same key always lands on the same group; keyless requests (Flip
+//! payloads, order-book operations, no-ops) round-robin across groups.
+//!
+//! Classification is a wire-format sniff: a payload is "keyed" iff it
+//! decodes as a `KvOp`, so a raw-byte workload can occasionally produce a
+//! payload that happens to frame as one and hash-routes instead of
+//! round-robining. Routing stays deterministic per payload either way;
+//! workloads that need strict round-robin should avoid the `KvOp` wire
+//! form (e.g. lead with a byte above `0x02`, as no valid tag exceeds it).
+
+use ubft_types::wire::Wire;
+
+use crate::kv::KvOp;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over `bytes`: cheap, deterministic, and well-mixed for the short
+/// keys the paper's KV workloads use (16 B).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Routes requests to one of `groups` consensus groups.
+///
+/// Routing of keyed requests is a pure function of the key (two routers
+/// with the same group count always agree); only the round-robin fallback
+/// for keyless requests carries state.
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    groups: usize,
+    next_rr: u64,
+}
+
+impl ShardRouter {
+    /// A router over `groups` groups (clamped to at least one).
+    pub fn new(groups: usize) -> Self {
+        ShardRouter { groups: groups.max(1), next_rr: 0 }
+    }
+
+    /// Number of groups this router spreads over.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The group owning `key` — deterministic, instance-independent.
+    pub fn route_key(&self, key: &[u8]) -> usize {
+        (fnv1a(key) % self.groups as u64) as usize
+    }
+
+    /// The key a request payload addresses, if it parses as a keyed
+    /// operation.
+    pub fn extract_key(payload: &[u8]) -> Option<Vec<u8>> {
+        match KvOp::from_bytes(payload) {
+            Ok(KvOp::Get { key }) | Ok(KvOp::Set { key, .. }) | Ok(KvOp::Del { key }) => Some(key),
+            Err(_) => None,
+        }
+    }
+
+    /// Routes one request payload: keyed requests go to the key's group,
+    /// keyless ones round-robin.
+    pub fn route(&mut self, payload: &[u8]) -> usize {
+        match Self::extract_key(payload) {
+            Some(key) => self.route_key(&key),
+            None => {
+                let g = (self.next_rr % self.groups as u64) as usize;
+                self.next_rr += 1;
+                g
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(key: &[u8]) -> Vec<u8> {
+        KvOp::Set { key: key.to_vec(), value: vec![7; 32] }.to_bytes()
+    }
+
+    #[test]
+    fn keyed_routing_is_deterministic_and_op_independent() {
+        let mut a = ShardRouter::new(4);
+        let mut b = ShardRouter::new(4);
+        for i in 0..200u64 {
+            let key = i.to_le_bytes();
+            let get = KvOp::Get { key: key.to_vec() }.to_bytes();
+            let del = KvOp::Del { key: key.to_vec() }.to_bytes();
+            let g = a.route(&set(&key));
+            assert!(g < 4);
+            assert_eq!(g, b.route(&get), "GET and SET of one key must colocate");
+            assert_eq!(g, a.route(&del));
+            assert_eq!(g, a.route_key(&key));
+        }
+    }
+
+    #[test]
+    fn keyless_requests_round_robin() {
+        let mut r = ShardRouter::new(3);
+        let hits: Vec<usize> = (0..6).map(|_| r.route(&[0xFF, 0x00, 0x01])).collect();
+        assert_eq!(hits, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn single_group_routes_everything_to_zero() {
+        let mut r = ShardRouter::new(1);
+        assert_eq!(r.route(&set(b"any-key")), 0);
+        assert_eq!(r.route(&[1, 2, 3]), 0);
+        assert_eq!(ShardRouter::new(0).groups(), 1);
+    }
+
+    #[test]
+    fn keys_spread_over_groups() {
+        let r = ShardRouter::new(8);
+        let mut seen = [0usize; 8];
+        for i in 0..1024u64 {
+            seen[r.route_key(&i.to_le_bytes())] += 1;
+        }
+        // FNV over distinct keys must not collapse onto few groups.
+        assert!(seen.iter().all(|&c| c > 1024 / 16), "skewed spread: {seen:?}");
+    }
+}

@@ -3,7 +3,7 @@
 //! CTBcast summary double-buffering.
 
 fn main() {
-    let samples = ubft_bench::SAMPLES;
+    let samples = ubft_bench::cli_samples();
     print!("{}", ubft_bench::ablation_path(samples));
     println!();
     print!("{}", ubft_bench::ablation_echo(samples));

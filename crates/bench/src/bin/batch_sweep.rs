@@ -1,6 +1,4 @@
 //! Regenerates the request-batching throughput sweep (see EXPERIMENTS.md).
 fn main() {
-    let samples =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(ubft_bench::SAMPLES);
-    print!("{}", ubft_bench::batch_sweep(samples));
+    print!("{}", ubft_bench::batch_sweep(ubft_bench::cli_samples()));
 }

@@ -1,6 +1,4 @@
 //! Regenerates the paper's Fig8 (see EXPERIMENTS.md).
 fn main() {
-    let samples =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(ubft_bench::SAMPLES);
-    print!("{}", ubft_bench::fig8(samples));
+    print!("{}", ubft_bench::fig8(ubft_bench::cli_samples()));
 }

@@ -1,6 +1,4 @@
 //! Regenerates the §9 throughput figure (see EXPERIMENTS.md).
 fn main() {
-    let samples =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(ubft_bench::SAMPLES);
-    print!("{}", ubft_bench::throughput(samples));
+    print!("{}", ubft_bench::throughput(ubft_bench::cli_samples()));
 }

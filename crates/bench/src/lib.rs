@@ -14,6 +14,7 @@ use ubft_minbft::ClientAuth;
 use ubft_runtime::baselines;
 use ubft_runtime::cluster::Cluster;
 use ubft_runtime::memory::MemoryReport;
+use ubft_runtime::sharded::ShardedCluster;
 use ubft_runtime::SimConfig;
 use ubft_sim::stats::LatencyStats;
 use ubft_types::Duration;
@@ -24,6 +25,31 @@ pub const SAMPLES: u64 = 1_500;
 pub const WARMUP: u64 = 100;
 /// Experiment seed (change to re-draw jitter; medians are stable).
 pub const SEED: u64 = 0xA5F0_2023;
+/// Per-point sample cap applied by the `--smoke` flag: enough requests to
+/// exercise every code path of a figure binary, few enough that CI can run
+/// the whole suite in seconds. Smoke output is for liveness, not numbers.
+pub const SMOKE_SAMPLES: u64 = 60;
+
+/// Parses a figure binary's CLI: an optional positional per-data-point
+/// sample count, plus `--smoke`, which caps samples at [`SMOKE_SAMPLES`]
+/// so CI can prove the binary still runs without paying for real
+/// statistics. Unknown flags are ignored.
+pub fn cli_samples() -> u64 {
+    let mut samples = SAMPLES;
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if let Ok(v) = arg.parse::<u64>() {
+            samples = v;
+        }
+    }
+    if smoke {
+        samples.min(SMOKE_SAMPLES)
+    } else {
+        samples
+    }
+}
 
 fn us(d: Duration) -> f64 {
     d.as_micros_f64()
@@ -534,6 +560,64 @@ pub fn batch_sweep(samples: u64) -> String {
     out
 }
 
+/// Shard sweep: aggregate requests/sec and latency as the key space shards
+/// over `G ∈ {1, 2, 4, 8}` consensus groups sharing one fabric and memory
+/// nodes. The workload is the §7.1 Redis-style KV mix, routed per key by
+/// FNV, with `samples` requests *per shard* (so each group does the same
+/// work at every G and the throughput column shows pure scale-out). Each
+/// shard runs 16 closed-loop clients with a 2-slot pipeline and batch 8 —
+/// the post-batching-PR sweet spot — plus the per-shard p50/p99 spread and
+/// the disaggregated memory each extra group adds.
+pub fn shard_sweep(samples: u64) -> String {
+    let mut out =
+        String::from("# Shard sweep (fast path, KV mix, 16 clients/shard, batch 8, pipeline 2)\n");
+    out.push_str(
+        "shards   kreq_s   p50_us   p99_us   shard_p50_us      shard_p99_us      disagg_KiB/node\n",
+    );
+    for g in [1usize, 2, 4, 8] {
+        let cfg = SimConfig::paper_default(SEED)
+            .fast_only()
+            .with_max_request(64)
+            .with_clients(16)
+            .with_pipeline_depth(2)
+            .with_batch(8)
+            .with_shards(g);
+        let n = cfg.params.n();
+        let mut sharded =
+            ShardedCluster::new(cfg, |_| make_apps("redis", n), make_workload("redis", 32));
+        let report = sharded.run(samples * g as u64, WARMUP);
+        let mem = MemoryReport::measure_sharded(&sharded);
+        let kreq = report.aggregate.completed as f64
+            / report.aggregate.end.since(ubft_types::Time::ZERO).as_micros_f64()
+            * 1_000.0;
+        let mut agg = report.aggregate.latency;
+        let (mut p50s, mut p99s) = (Vec::new(), Vec::new());
+        for shard in report.shards {
+            let mut lat = shard.latency;
+            if !lat.is_empty() {
+                p50s.push(us(lat.percentile(50.0)));
+                p99s.push(us(lat.percentile(99.0)));
+            }
+        }
+        let range = |v: &[f64]| {
+            let (lo, hi) = v.iter().fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+            format!("{lo:.1}-{hi:.1}")
+        };
+        out.push_str(&format!(
+            "{g:<6} {kreq:>8.1} {p50:>8.2} {p99:>8.2}   {r50:<17} {r99:<17} {mem:>10.1}\n",
+            p50 = us(agg.percentile(50.0)),
+            p99 = us(agg.percentile(99.0)),
+            r50 = range(&p50s),
+            r99 = range(&p99s),
+            mem = mem.disagg_bytes_per_node as f64 / 1024.0,
+        ));
+    }
+    out.push_str(
+        "(each group is an independent 2f+1 uBFT instance; the shared memory\n nodes hold one register-bank partition per group)\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +653,28 @@ mod tests {
             kreq("16 ") > 1.5 * kreq("1 "),
             "batch=16 ({}) should beat batch=1 ({})",
             kreq("16 "),
+            kreq("1 ")
+        );
+    }
+
+    #[test]
+    fn shard_sweep_shows_scale_out() {
+        let out = shard_sweep(250);
+        // Header (2) + 4 sweep rows + 2 footnote lines.
+        assert_eq!(out.lines().count(), 2 + 4 + 2);
+        let kreq = |prefix: &str| -> f64 {
+            out.lines()
+                .find(|l| l.starts_with(prefix))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .expect("sweep row")
+        };
+        // The acceptance bar: 4 groups deliver >= 3x the aggregate
+        // requests/sec of one group on the same per-group load.
+        assert!(
+            kreq("4 ") > 3.0 * kreq("1 "),
+            "G=4 ({}) should be >= 3x G=1 ({})",
+            kreq("4 "),
             kreq("1 ")
         );
     }

@@ -66,6 +66,18 @@ pub struct RegEntry {
     pub sig: Signature,
 }
 
+impl RegEntry {
+    /// Encoded size of one entry in bytes — what a SWMR register slot must
+    /// hold. Computed from the wire encoding itself (id + fingerprint +
+    /// signature are all fixed-size), so register sizing can never drift
+    /// from the codec.
+    pub fn encoded_size() -> usize {
+        RegEntry { k: SeqId(0), fp: Digest::from_bytes([0; 32]), sig: Signature::garbage() }
+            .to_bytes()
+            .len()
+    }
+}
+
 impl Wire for RegEntry {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.k.encode(buf);
@@ -613,6 +625,22 @@ mod tests {
 
     fn ring() -> KeyRing {
         KeyRing::generate(99, (0..N as u32).map(|i| ProcessId::Replica(rid(i))))
+    }
+
+    /// Pins the register-slot sizing the runtime derives from the codec:
+    /// id (8) + fingerprint (32) + signature (32). If this moves, every
+    /// register bank's slot size moves with it — deliberately, but the
+    /// change should be a conscious one.
+    #[test]
+    fn reg_entry_encoded_size_is_pinned() {
+        assert_eq!(RegEntry::encoded_size(), 72);
+        // And it really is what an arbitrary entry encodes to.
+        let e = RegEntry {
+            k: SeqId(u64::MAX),
+            fp: fingerprint(b"some message"),
+            sig: Signature::garbage(),
+        };
+        assert_eq!(e.to_bytes().len(), RegEntry::encoded_size());
     }
 
     /// A tiny synchronous harness: perfect TBcast, synchronous crypto, and

@@ -10,7 +10,7 @@ use ubft_core::PathMode;
 use ubft_sim::cost::CostModel;
 use ubft_sim::failure::FailurePlan;
 use ubft_sim::net::LatencyModel;
-use ubft_types::{ClusterParams, Duration};
+use ubft_types::{ClusterParams, Duration, Time};
 
 /// Full configuration of one simulated experiment.
 #[derive(Clone, Debug)]
@@ -59,6 +59,17 @@ pub struct SimConfig {
     /// consensus window, which never binds; small values make the backlog
     /// queue up so batches actually form under load.
     pub pipeline_depth: Option<usize>,
+    /// Number of independent consensus groups a
+    /// [`ShardedCluster`](crate::sharded::ShardedCluster) instantiates over
+    /// one shared fabric and memory-node set. `1` — the default — is the
+    /// classic single-group deployment; [`Cluster`](crate::cluster::Cluster)
+    /// always runs one group regardless of this knob.
+    pub shards: usize,
+    /// Additional fault schedules addressed to individual shards:
+    /// `(shard, plan)` pairs whose replica/memory-node indices are
+    /// group-local. The scalar [`SimConfig::failures`] plan addresses
+    /// shard 0 (so single-group configurations behave unchanged).
+    pub shard_failures: Vec<(usize, FailurePlan)>,
 }
 
 impl SimConfig {
@@ -81,6 +92,8 @@ impl SimConfig {
             summary_every: None,
             max_batch: 1,
             pipeline_depth: None,
+            shards: 1,
+            shard_failures: Vec::new(),
         }
     }
 
@@ -150,6 +163,66 @@ impl SimConfig {
     pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
         self.pipeline_depth = Some(depth.max(1));
         self
+    }
+
+    /// Sets the number of consensus groups a
+    /// [`ShardedCluster`](crate::sharded::ShardedCluster) deploys over the
+    /// shared fabric (clamped to at least one).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Addresses a fault schedule to one shard: `plan`'s *replica* indices
+    /// are local to that group. Memory nodes are shared by every shard, so
+    /// a memory-node crash in any shard's plan crashes that global node
+    /// for the whole deployment (register banks are replicated across all
+    /// of them, which is what makes the crash survivable). Composes with
+    /// the scalar [`SimConfig::failures`] plan, which addresses shard 0.
+    /// The asynchrony phase (GST) remains a deployment-global property of
+    /// the base plan.
+    #[must_use]
+    pub fn with_shard_failures(mut self, shard: usize, plan: FailurePlan) -> Self {
+        self.shard_failures.push((shard, plan));
+        self
+    }
+
+    /// The effective fault plan of one shard: the base [`SimConfig::failures`]
+    /// plan for shard 0, plus every [`SimConfig::with_shard_failures`] entry
+    /// addressed to `shard`.
+    pub fn shard_plan(&self, shard: usize) -> FailurePlan {
+        let mut plan = if shard == 0 { self.failures.clone() } else { FailurePlan::none() };
+        for (s, extra) in &self.shard_failures {
+            if *s == shard {
+                for f in extra.faults() {
+                    plan = plan.with_fault(*f);
+                }
+            }
+        }
+        plan
+    }
+
+    /// The virtual-time deadline after which a closed-loop run of `total`
+    /// requests is declared stalled. Derived from the request count and
+    /// batch size (each slot amortizes up to `max_batch` requests), with
+    /// budgets hundreds of times above common-case latency: a healthy
+    /// fast-path slot takes ~10 µs against a 20 ms/slot budget, and the
+    /// per-request floor covers even the signature-bound slow path many
+    /// times over. The shard count deliberately does *not* tighten the
+    /// bound: routing is by key, and a fully skewed stream may legally
+    /// send every request to one group — the deadline must cover that
+    /// worst legitimate schedule (a looser-than-needed deadline costs
+    /// nothing; a tighter one panics healthy runs). An asynchronous
+    /// prefix defers the whole budget: the clock starts at GST, since
+    /// nothing is owed progress before it. Replaces the old fixed 60 s
+    /// deadline, which large batched/sharded runs could outgrow.
+    pub fn stall_deadline(&self, total: u64) -> Time {
+        let slots = total / self.max_batch.max(1) as u64 + 1;
+        self.failures.gst
+            + Duration::from_secs(5)
+            + Duration::from_millis(20) * slots
+            + Duration::from_millis(5) * total
     }
 
     /// Encoded per-request wire overhead inside a batch beyond the payload

@@ -1,4 +1,4 @@
-//! A complete simulated uBFT deployment.
+//! A complete simulated uBFT deployment with a single consensus group.
 //!
 //! Topology: hosts `0..n` are replicas, `n..n+c` are clients, and the last
 //! `2f_m + 1` hosts are passive memory nodes. Every protocol byte flows
@@ -7,104 +7,18 @@
 //! `ubft-dmem`, and all CPU/crypto time is charged against per-replica
 //! busy-until cursors using the calibrated [`CostModel`](ubft_sim::cost::CostModel).
 //!
-//! Lanes between each ordered pair of replicas:
-//! * one TBcast channel per CTBcast stream (`LOCK`/`LOCKED`/`SIGNED`),
-//! * one consensus TBcast channel (`WILL_*`, `CERTIFY*`, `SUMMARY`),
-//! * one direct channel (`Echo`, `CRTFY_VC`, `CERTIFY_SUMMARY`),
-//!
-//! plus request/response channels between each client and each replica.
-
-use std::collections::HashMap;
+//! [`Cluster`] is a thin facade: the per-replica protocol state lives in
+//! the private `node::ReplicaNode`, and the event loop, lanes, and
+//! clients live in the private `group::GroupRuntime` — the same machinery
+//! that [`ShardedCluster`](crate::sharded::ShardedCluster) instantiates
+//! `G` times over one shared fabric.
 
 use ubft_core::app::App;
-use ubft_core::client::{Client, ClientEffect};
-use ubft_core::engine::{CryptoOps, Effect, Engine, EngineConfig, PathMode, TimerKind};
-use ubft_core::msg::{CtbMsg, DirectMsg, Reply, Request, TbMsg};
-use ubft_crypto::{KeyRing, Signature};
-use ubft_ctb::ctbcast::{Ctb, CtbConfig, CtbEffect, RegEntry, SlowMode, VerifyTag};
-use ubft_ctb::tbcast::{TailBroadcaster, TailReceiver, TbEffect};
-use ubft_ctb::wire::{signed_bytes, CtbWire, TbAck, TbFrame, TbWire};
-use ubft_dmem::register::{ReadOutcome, RegisterBank, RegisterId, RegisterReader, RegisterWriter};
-use ubft_rdma::Fabric;
-use ubft_sim::failure::ByzantineMode;
-use ubft_sim::net::NetworkModel;
 use ubft_sim::stats::LatencyStats;
-use ubft_sim::{EventQueue, HostId, SimRng};
-use ubft_transport::channel::{create_channel, ChannelReceiver, ChannelSender, ChannelSpec};
-use ubft_types::wire::Wire;
-use ubft_types::{ClientId, Duration, ProcessId, ReplicaId, SeqId, Time, View};
+use ubft_types::{Time, View};
 
 use crate::calibration::SimConfig;
-
-/// Encoded [`RegEntry`] size: id (8) + fingerprint (32) + signature (32).
-const REG_VALUE_SIZE: usize = 72;
-
-/// Message lanes between nodes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum Lane {
-    /// TBcast traffic of CTBcast stream `stream`.
-    CtbTb { stream: usize },
-    /// Consensus-level TBcast traffic.
-    ConsTb,
-    /// Point-to-point protocol messages.
-    Direct,
-    /// Client requests.
-    ClientReq,
-    /// Replica replies.
-    ClientResp,
-}
-
-/// Simulation events.
-enum Ev {
-    Poll {
-        lane: Lane,
-        from: usize,
-        to: usize,
-    },
-    Flush {
-        lane: Lane,
-        from: usize,
-        to: usize,
-    },
-    Timer {
-        r: usize,
-        kind: TimerKind,
-    },
-    CtbSlow {
-        r: usize,
-        k: SeqId,
-    },
-    CtbSignDone {
-        r: usize,
-        k: SeqId,
-        sig: Signature,
-    },
-    CtbVerifyDone {
-        r: usize,
-        stream: usize,
-        tag: VerifyTag,
-        ok: bool,
-    },
-    CtbWritten {
-        r: usize,
-        stream: usize,
-        k: SeqId,
-    },
-    CtbReadDone {
-        r: usize,
-        stream: usize,
-        k: SeqId,
-        entries: Vec<Option<RegEntry>>,
-    },
-    ClientIssue {
-        c: usize,
-    },
-    /// Periodic TBcast retransmission tick for replica `r` (§4.2: the
-    /// broadcaster retransmits its buffered tail until acknowledged).
-    Retransmit {
-        r: usize,
-    },
-}
+use crate::group::Deployment;
 
 /// Counts of primitive operations during a run (drives the Figure 9
 /// breakdown and sanity assertions like "the fast path signs nothing").
@@ -132,8 +46,24 @@ pub struct OpCounters {
     pub reg_reads: u64,
 }
 
+impl OpCounters {
+    /// Adds every counter of `other` into `self` (aggregating shards).
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.rpc_msgs += other.rpc_msgs;
+        self.ctb_msgs += other.ctb_msgs;
+        self.cons_msgs += other.cons_msgs;
+        self.direct_msgs += other.direct_msgs;
+        self.ctb_signs += other.ctb_signs;
+        self.ctb_verifies += other.ctb_verifies;
+        self.engine_signs += other.engine_signs;
+        self.engine_verifies += other.engine_verifies;
+        self.reg_writes += other.reg_writes;
+        self.reg_reads += other.reg_reads;
+    }
+}
+
 /// The outcome of a run.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Per-request end-to-end latency samples (post-warmup).
     pub latency: LatencyStats,
@@ -147,46 +77,9 @@ pub struct RunReport {
     pub views: Vec<View>,
 }
 
-struct Chan {
-    tx: ChannelSender,
-    rx: ChannelReceiver,
-}
-
-/// A full uBFT cluster simulation.
+/// A full single-group uBFT cluster simulation.
 pub struct Cluster {
-    cfg: SimConfig,
-    now: Time,
-    events: EventQueue<Ev>,
-    fabric: Fabric,
-    busy: Vec<Time>,
-    /// Per-replica crypto-worker cursor: engine signatures/verifications
-    /// serialize here instead of on the main event-loop cursor (the paper's
-    /// background crypto pool, §5.4).
-    crypto_busy: Vec<Time>,
-    engines: Vec<Engine>,
-    apps: Vec<Box<dyn App>>,
-    ctbs: Vec<Vec<Ctb>>,
-    ctb_tx: Vec<Vec<TailBroadcaster>>,
-    ctb_rx: Vec<Vec<Vec<TailReceiver>>>,
-    cons_tx: Vec<TailBroadcaster>,
-    cons_rx: Vec<Vec<TailReceiver>>,
-    channels: HashMap<(Lane, usize, usize), Chan>,
-    /// `reg_writers[stream][owner]` (held by `owner`), `reg_readers[stream][owner]`.
-    reg_writers: Vec<Vec<RegisterWriter>>,
-    reg_readers: Vec<Vec<RegisterReader>>,
-    reg_banks_bytes_per_node: usize,
-    clients: Vec<Client>,
-    issue_times: Vec<Time>,
-    workload: Box<dyn FnMut(u64) -> Vec<u8>>,
-    ring: KeyRing,
-    crashed: Vec<bool>,
-    /// Byzantine detections reported by engines: (detector, culprit, why).
-    byz_reports: Vec<(usize, u32, String)>,
-    pub(crate) counters: OpCounters,
-    latency: LatencyStats,
-    completed: u64,
-    target: u64,
-    warmup: u64,
+    dep: Deployment,
 }
 
 impl Cluster {
@@ -197,819 +90,61 @@ impl Cluster {
         apps: Vec<Box<dyn App>>,
         workload: Box<dyn FnMut(u64) -> Vec<u8>>,
     ) -> Self {
-        let n = cfg.params.n();
-        assert_eq!(apps.len(), n, "one app instance per replica");
-        let n_clients = cfg.n_clients.max(1);
-        let n_mem = cfg.params.n_mem();
-        let n_hosts = n + n_clients + n_mem;
-
-        let rng = SimRng::new(cfg.seed);
-        let mut net = NetworkModel::synchronous(cfg.latency.clone(), n_hosts)
-            .with_gst(cfg.failures.gst, cfg.failures.pre_gst_extra);
-        // Apply crash schedules.
-        for i in 0..n {
-            if let Some(t) = cfg.failures.replica_crash_time(i) {
-                net.crash_host(HostId(i as u32), t);
-            }
-        }
-        for i in 0..n_mem {
-            if let Some(t) = cfg.failures.mem_node_crash_time(i) {
-                net.crash_host(HostId((n + n_clients + i) as u32), t);
-            }
-        }
-        for (a, b, from, until) in cfg.failures.partitions() {
-            net.add_partition(HostId(a as u32), HostId(b as u32), from, until);
-        }
-        let mut fabric = Fabric::new(net, rng.fork(1));
-
-        let ring = KeyRing::generate(
-            cfg.seed ^ 0x5EED,
-            (0..n as u32)
-                .map(|i| ProcessId::Replica(ReplicaId(i)))
-                .chain((0..n_clients as u32).map(|i| ProcessId::Client(ClientId(i)))),
+        let mut cfg = cfg;
+        cfg.shards = 1;
+        let mut apps = Some(apps);
+        let mut workload = Some(workload);
+        let dep = Deployment::build(
+            &cfg,
+            |_| apps.take().expect("single group"),
+            |_| {
+                let mut wl = workload.take().expect("single group");
+                Box::new(move |seq| Some(wl(seq)))
+            },
         );
-
-        // Engines.
-        let engines: Vec<Engine> = (0..n as u32)
-            .map(|i| {
-                let mut ecfg = EngineConfig::new(cfg.params.clone(), cfg.path);
-                ecfg.echo_round = cfg.echo_round;
-                if let Some(every) = cfg.summary_every {
-                    ecfg.summary_half = every;
-                }
-                ecfg.max_batch = cfg.max_batch.max(1);
-                if let Some(depth) = cfg.pipeline_depth {
-                    ecfg.pipeline_depth = depth.max(1);
-                }
-                Engine::new(ReplicaId(i), ecfg, ring.clone())
-            })
-            .collect();
-
-        // CTBcast instances: ctbs[replica][stream].
-        let replica_ids: Vec<ReplicaId> = cfg.params.replicas().collect();
-        let ctb_cfg_for = |_s: usize| match cfg.path {
-            PathMode::FastOnly => {
-                CtbConfig { n, tail: cfg.params.tail, fast_enabled: true, slow: SlowMode::Never }
-            }
-            PathMode::SlowOnly => {
-                CtbConfig { n, tail: cfg.params.tail, fast_enabled: false, slow: SlowMode::Always }
-            }
-            PathMode::FastWithFallback => CtbConfig::deployed(n, cfg.params.tail),
-        };
-        let ctbs: Vec<Vec<Ctb>> = (0..n)
-            .map(|r| {
-                (0..n)
-                    .map(|s| {
-                        Ctb::new(
-                            ReplicaId(r as u32),
-                            ReplicaId(s as u32),
-                            replica_ids.clone(),
-                            ctb_cfg_for(s),
-                        )
-                    })
-                    .collect()
-            })
-            .collect();
-
-        // TBcast endpoints. Buffers hold 2t messages (Algorithm 1).
-        let cap = 2 * cfg.params.tail;
-        let peers_of = |r: usize| -> Vec<ReplicaId> {
-            (0..n as u32).map(ReplicaId).filter(|x| x.0 as usize != r).collect()
-        };
-        let ctb_tx: Vec<Vec<TailBroadcaster>> = (0..n)
-            .map(|r| {
-                (0..n)
-                    .map(|_s| TailBroadcaster::new(ReplicaId(r as u32), peers_of(r), cap))
-                    .collect()
-            })
-            .collect();
-        let ctb_rx: Vec<Vec<Vec<TailReceiver>>> = (0..n)
-            .map(|_r| {
-                (0..n)
-                    .map(|_s| {
-                        (0..n)
-                            .map(|sender| TailReceiver::new(ReplicaId(sender as u32), cap))
-                            .collect()
-                    })
-                    .collect()
-            })
-            .collect();
-        let cons_tx: Vec<TailBroadcaster> =
-            (0..n).map(|r| TailBroadcaster::new(ReplicaId(r as u32), peers_of(r), cap)).collect();
-        let cons_rx: Vec<Vec<TailReceiver>> = (0..n)
-            .map(|_r| (0..n).map(|s| TailReceiver::new(ReplicaId(s as u32), cap)).collect())
-            .collect();
-
-        // Channels.
-        let spec = ChannelSpec { slots: cap, slot_payload: cfg.slot_payload() };
-        let wide_spec = ChannelSpec { slots: cap, slot_payload: cfg.wide_slot_payload() };
-        let client_spec = ChannelSpec { slots: 64, slot_payload: cfg.slot_payload() };
-        let mut channels = HashMap::new();
-        for from in 0..n {
-            for to in 0..n {
-                if from == to {
-                    continue;
-                }
-                for s in 0..n {
-                    let (mut tx, rx) = create_channel(&mut fabric, HostId(to as u32), spec);
-                    tx.bind_issuer(HostId(from as u32));
-                    channels.insert((Lane::CtbTb { stream: s }, from, to), Chan { tx, rx });
-                }
-                for lane in [Lane::ConsTb, Lane::Direct] {
-                    let (mut tx, rx) = create_channel(&mut fabric, HostId(to as u32), wide_spec);
-                    tx.bind_issuer(HostId(from as u32));
-                    channels.insert((lane, from, to), Chan { tx, rx });
-                }
-            }
-        }
-        for c in 0..n_clients {
-            let c_node = n + c;
-            for r in 0..n {
-                let (mut tx, rx) = create_channel(&mut fabric, HostId(r as u32), client_spec);
-                tx.bind_issuer(HostId(c_node as u32));
-                channels.insert((Lane::ClientReq, c_node, r), Chan { tx, rx });
-                let (mut tx, rx) = create_channel(&mut fabric, HostId(c_node as u32), client_spec);
-                tx.bind_issuer(HostId(r as u32));
-                channels.insert((Lane::ClientResp, r, c_node), Chan { tx, rx });
-            }
-        }
-
-        // SWMR register banks: banks[stream][owner], replicated on memory
-        // nodes; only `owner` holds the writer.
-        let mem_hosts: Vec<HostId> =
-            (0..n_mem).map(|i| HostId((n + n_clients + i) as u32)).collect();
-        let mut reg_writers: Vec<Vec<RegisterWriter>> = Vec::with_capacity(n);
-        let mut reg_readers: Vec<Vec<RegisterReader>> = Vec::with_capacity(n);
-        let mut bank_bytes = 0usize;
-        for _s in 0..n {
-            let mut ws = Vec::with_capacity(n);
-            let mut rs = Vec::with_capacity(n);
-            for _owner in 0..n {
-                let bank = RegisterBank::create(
-                    &mut fabric,
-                    &mem_hosts,
-                    cfg.params.tail,
-                    REG_VALUE_SIZE,
-                    cfg.params.delta,
-                );
-                bank_bytes += bank.bytes_per_node();
-                ws.push(bank.writer());
-                rs.push(bank.reader());
-            }
-            reg_writers.push(ws);
-            reg_readers.push(rs);
-        }
-
-        let clients: Vec<Client> = (0..n_clients as u32)
-            .map(|i| Client::new(ClientId(i), replica_ids.clone(), cfg.params.quorum()))
-            .collect();
-
-        let mut cluster = Cluster {
-            now: Time::ZERO,
-            events: EventQueue::new(),
-            fabric,
-            busy: vec![Time::ZERO; n],
-            crypto_busy: vec![Time::ZERO; n],
-            engines,
-            apps,
-            ctbs,
-            ctb_tx,
-            ctb_rx,
-            cons_tx,
-            cons_rx,
-            channels,
-            reg_writers,
-            reg_readers,
-            reg_banks_bytes_per_node: bank_bytes,
-            clients,
-            issue_times: vec![Time::ZERO; n_clients],
-            workload,
-            ring,
-            crashed: vec![false; n],
-            byz_reports: Vec::new(),
-            counters: OpCounters::default(),
-            latency: LatencyStats::new(),
-            completed: 0,
-            target: 0,
-            warmup: 0,
-            cfg,
-        };
-        // Engine start-up (progress watchdogs).
-        for r in 0..n {
-            let fx = cluster.engines[r].start();
-            let ops = cluster.engines[r].take_crypto_ops();
-            cluster.apply_engine_effects(r, Time::ZERO, fx, ops);
-        }
-        // TBcast retransmission ticks, staggered so replicas do not burst in
-        // lockstep.
-        for r in 0..n {
-            let offset = Duration::from_nanos(1_000 * (r as u64 + 1));
-            cluster
-                .events
-                .push(Time::ZERO + cluster.cfg.retransmit_period + offset, Ev::Retransmit { r });
-        }
-        cluster
-    }
-
-    fn n(&self) -> usize {
-        self.cfg.params.n()
-    }
-
-    fn client_node(&self, c: usize) -> usize {
-        self.n() + c
-    }
-
-    /// The Byzantine behaviour of host `r` active at `at`, if `r` is a
-    /// replica with a scheduled fault.
-    fn byz_mode(&self, r: usize, at: Time) -> Option<ByzantineMode> {
-        if r < self.n() {
-            self.cfg.failures.byzantine_mode(r, at)
-        } else {
-            None
-        }
+        Cluster { dep }
     }
 
     /// The application state digest of replica `r` (safety assertions in
     /// tests: correct replicas that executed the same prefix must agree).
     pub fn app_digest(&self, r: usize) -> ubft_crypto::Digest {
-        self.apps[r].snapshot_digest()
+        self.dep.groups[0].app_digest(r)
     }
 
     /// First slot replica `r` has not executed.
     pub fn exec_next(&self, r: usize) -> ubft_types::Slot {
-        self.engines[r].exec_next()
+        self.dep.groups[0].exec_next(r)
     }
 
     /// The view replica `r` is in.
     pub fn view_of(&self, r: usize) -> View {
-        self.engines[r].view()
+        self.dep.groups[0].view_of(r)
     }
 
     /// Individual requests replica `r` has decided (batches count their
     /// contents, so this is comparable across batch sizes).
     pub fn decided_of(&self, r: usize) -> u64 {
-        self.engines[r].decided_count()
+        self.dep.groups[0].decided_of(r)
     }
 
     /// Total disaggregated-memory bytes occupied on one memory node by the
     /// register banks (Table 2). Every memory node holds a full copy of
     /// every register, so this is independent of the replication factor.
     pub fn disagg_bytes_per_node(&self) -> usize {
-        self.reg_banks_bytes_per_node
+        self.dep.groups[0].disagg_bytes_per_node()
     }
 
     /// Approximate replica-local resident bytes: channel buffers this
     /// replica hosts, sender mirrors/staging, TB retransmission buffers, and
     /// CTBcast bookkeeping (Table 2).
     pub fn replica_local_bytes(&self, r: usize) -> usize {
-        let mut total = 0usize;
-        for ((_lane, from, to), ch) in &self.channels {
-            if *to == r {
-                total += ch.tx.buffer_bytes(); // receiver-side buffer
-            }
-            if *from == r {
-                total += ch.tx.buffer_bytes(); // sender mirror + staging
-            }
-        }
-        for s in 0..self.n() {
-            total += self.ctbs[r][s].resident_bytes();
-            total += self.ctb_tx[r][s].buffered_bytes();
-        }
-        total += self.cons_tx[r].buffered_bytes();
-        total
-    }
-
-    // ------------------------------------------------------------------
-    // Cost charging
-    // ------------------------------------------------------------------
-
-    fn charge(&mut self, r: usize, at: Time, extra: Duration) -> Time {
-        let start = if at > self.busy[r] { at } else { self.busy[r] };
-        let done = start + self.cfg.cost.dispatch + extra;
-        self.busy[r] = done;
-        done
-    }
-
-    fn crypto_cost(&self, ops: CryptoOps) -> Duration {
-        Duration::from_nanos(
-            self.cfg.cost.sign_total().as_nanos() * ops.signs as u64
-                + self.cfg.cost.verify_total().as_nanos() * ops.verifies as u64,
-        )
-    }
-
-    // ------------------------------------------------------------------
-    // Engine plumbing
-    // ------------------------------------------------------------------
-
-    fn engine_call(&mut self, r: usize, at: Time, f: impl FnOnce(&mut Engine) -> Vec<Effect>) {
-        if self.crashed[r] {
-            return;
-        }
-        let fx = f(&mut self.engines[r]);
-        let ops = self.engines[r].take_crypto_ops();
-        self.apply_engine_effects(r, at, fx, ops);
-    }
-
-    fn apply_engine_effects(&mut self, r: usize, at: Time, fx: Vec<Effect>, ops: CryptoOps) {
-        self.counters.engine_signs += ops.signs as u64;
-        self.counters.engine_verifies += ops.verifies as u64;
-        // The event-loop dispatch runs on the replica's main core; crypto is
-        // handed to the replica's crypto worker (§5.4 keeps bookkeeping
-        // signatures off the critical path), so it delays this call's
-        // *effects* without blocking subsequent message processing.
-        let done = self.charge(r, at, Duration::ZERO);
-        let effect_at = if ops.is_zero() {
-            done
-        } else {
-            let start = if done > self.crypto_busy[r] { done } else { self.crypto_busy[r] };
-            let fin = start + self.crypto_cost(ops);
-            self.crypto_busy[r] = fin;
-            fin
-        };
-        for e in fx {
-            self.engine_effect(r, effect_at, e);
-        }
-    }
-
-    fn engine_effect(&mut self, r: usize, at: Time, e: Effect) {
-        match e {
-            Effect::CtbBroadcast(msg) => {
-                let bytes = msg.to_bytes();
-                let (_k, cfx) = self.ctbs[r][r].broadcast(bytes);
-                for ce in cfx {
-                    self.ctb_effect(r, r, at, ce);
-                }
-            }
-            Effect::TbBroadcast(msg) => {
-                let bytes = msg.to_bytes();
-                let (_k, tfx) = self.cons_tx[r].broadcast(bytes);
-                self.handle_tb_effects(r, Lane::ConsTb, at, tfx);
-            }
-            Effect::SendReplica { to, msg } => {
-                self.counters.direct_msgs += 1;
-                self.channel_send(Lane::Direct, r, to.0 as usize, msg.to_bytes(), at);
-            }
-            Effect::Execute { slot: _, req } => {
-                let cost = self.apps[r].execute_cost(&req.payload);
-                let payload = self.apps[r].execute(&req.payload);
-                let done = self.charge(r, at, cost);
-                if !req.is_noop() && (req.id.client.0 as usize) < self.clients.len() {
-                    let reply = Reply { id: req.id, replica: ReplicaId(r as u32), payload };
-                    let c_node = self.client_node(req.id.client.0 as usize);
-                    self.counters.rpc_msgs += 1;
-                    self.channel_send(Lane::ClientResp, r, c_node, reply.to_bytes(), done);
-                }
-            }
-            Effect::RequestSnapshot { base } => {
-                let digest = self.apps[r].snapshot_digest();
-                self.engine_call(r, at, |e| e.on_snapshot(base, digest));
-            }
-            Effect::ArmTimer { kind } => {
-                let after = match kind {
-                    TimerKind::Progress => {
-                        // PBFT-style backoff: fruitless view changes double
-                        // the watchdog period so slow view changes complete.
-                        self.cfg.progress_timeout * u64::from(self.engines[r].progress_backoff())
-                    }
-                    TimerKind::SlotSlowTrigger(_) => self.cfg.slow_trigger,
-                    TimerKind::EchoFallback(_) => self.cfg.echo_fallback,
-                };
-                self.events.push(at + after, Ev::Timer { r, kind });
-            }
-            Effect::ByzantineDetected { replica, reason } => {
-                self.byz_reports.push((r, replica.0, reason));
-            }
-            Effect::CheckpointAdopted { .. } | Effect::ViewChanged { .. } => {}
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // CTBcast plumbing
-    // ------------------------------------------------------------------
-
-    fn ctb_call(
-        &mut self,
-        r: usize,
-        stream: usize,
-        at: Time,
-        f: impl FnOnce(&mut Ctb) -> Vec<CtbEffect>,
-    ) {
-        if self.crashed[r] {
-            return;
-        }
-        let fx = f(&mut self.ctbs[r][stream]);
-        let done = self.charge(r, at, Duration::ZERO);
-        for e in fx {
-            self.ctb_effect(r, stream, done, e);
-        }
-    }
-
-    fn ctb_effect(&mut self, r: usize, stream: usize, at: Time, e: CtbEffect) {
-        match e {
-            CtbEffect::Broadcast(wire) => {
-                if stream == r
-                    && self.byz_mode(r, at) == Some(ByzantineMode::EquivocateProposals)
-                    && self.equivocate_broadcast(r, at, &wire)
-                {
-                    return;
-                }
-                let bytes = wire.to_bytes();
-                let (_k, tfx) = self.ctb_tx[r][stream].broadcast(bytes);
-                self.handle_tb_effects(r, Lane::CtbTb { stream }, at, tfx);
-            }
-            CtbEffect::Sign { k, fp } => {
-                self.counters.ctb_signs += 1;
-                let signer = self
-                    .ring
-                    .signer(ProcessId::Replica(ReplicaId(stream as u32)))
-                    .expect("replica key");
-                let sig = signer.sign(&signed_bytes(ReplicaId(stream as u32), k, &fp));
-                self.events.push(at + self.cfg.cost.sign_total(), Ev::CtbSignDone { r, k, sig });
-            }
-            CtbEffect::Verify { tag, k, fp, sig } => {
-                self.counters.ctb_verifies += 1;
-                let ok = self.ring.verify(
-                    ProcessId::Replica(ReplicaId(stream as u32)),
-                    &signed_bytes(ReplicaId(stream as u32), k, &fp),
-                    &sig,
-                );
-                self.events.push(
-                    at + self.cfg.cost.verify_total(),
-                    Ev::CtbVerifyDone { r, stream, tag, ok },
-                );
-            }
-            CtbEffect::WriteRegister { slot, k, entry } => {
-                self.counters.reg_writes += 1;
-                let host = HostId(r as u32);
-                let mut entry = entry;
-                // A register-corrupting replica stores a garbled fingerprint
-                // in its own SWMR slot. Readers must treat the entry as a
-                // suspect, fail its signature check, and deliver anyway
-                // (§6.1: forged entries cannot block delivery).
-                if self.byz_mode(r, at) == Some(ByzantineMode::CorruptRegisters) {
-                    let mut fp = *entry.fp.as_bytes();
-                    fp[0] ^= 0xFF;
-                    fp[31] ^= 0xFF;
-                    entry.fp = ubft_crypto::Digest::from_bytes(fp);
-                }
-                let bytes = entry.to_bytes();
-                let done = self.reg_writers[stream][r].write(
-                    &mut self.fabric,
-                    host,
-                    RegisterId(slot),
-                    k.0,
-                    &bytes,
-                    at,
-                );
-                if let Some(done) = done {
-                    self.events.push(done, Ev::CtbWritten { r, stream, k });
-                }
-            }
-            CtbEffect::ReadSlot { slot, k } => {
-                self.counters.reg_reads += 1;
-                let (entries, completion) = self.read_register_slot(r, stream, slot, at);
-                self.events.push(completion, Ev::CtbReadDone { r, stream, k, entries });
-            }
-            CtbEffect::Deliver { k, payload } => match CtbMsg::from_bytes(&payload) {
-                Ok(msg) => {
-                    let s = ReplicaId(stream as u32);
-                    self.engine_call(r, at, |e| e.on_ctb_deliver(s, k, msg));
-                }
-                Err(_) => {
-                    let s = ReplicaId(stream as u32);
-                    self.engine_call(r, at, |e| e.on_ctb_equivocation(s, k));
-                }
-            },
-            CtbEffect::Equivocation { k } => {
-                let s = ReplicaId(stream as u32);
-                self.engine_call(r, at, |e| e.on_ctb_equivocation(s, k));
-            }
-            CtbEffect::ArmSlowTimer { k } => {
-                self.events.push(at + self.cfg.slow_trigger, Ev::CtbSlow { r, k });
-            }
-        }
-    }
-
-    /// Byzantine equivocation: the broadcaster of stream `r` sends
-    /// *different* proposals to different receivers under the same CTBcast
-    /// id — the exact attack CTBcast exists to stop. Returns `true` when the
-    /// frame was handled (it carried a fast-path `LOCK` of a `PREPARE`);
-    /// other frames fall through to the honest path so the Byzantine replica
-    /// still participates in the rest of the protocol.
-    fn equivocate_broadcast(&mut self, r: usize, at: Time, wire: &CtbWire) -> bool {
-        let CtbWire::Lock { m, .. } = wire else {
-            return false;
-        };
-        let Ok(CtbMsg::Prepare(prep)) = CtbMsg::from_bytes(m) else {
-            return false;
-        };
-        // Register the broadcast with the honest TailBroadcaster (sequence
-        // numbers, retransmission buffer, self-delivery) but discard its
-        // uniform sends; hand-craft a poisoned variant for odd receivers.
-        let (k, tfx) = self.ctb_tx[r][r].broadcast(wire.to_bytes());
-        let mut alt = prep.clone();
-        let mut reqs = alt.batch.requests().to_vec();
-        if reqs[0].payload.is_empty() {
-            reqs[0].payload.push(0xFF);
-        } else {
-            reqs[0].payload[0] ^= 0xFF;
-        }
-        alt.batch = ubft_core::msg::Batch::new(reqs);
-        let alt_wire = CtbWire::Lock { k, m: CtbMsg::Prepare(alt).to_bytes() };
-        for e in tfx {
-            match e {
-                TbEffect::SendTo { to, wire: tb } => {
-                    self.counters.ctb_msgs += 1;
-                    let poisoned = to.0 % 2 == 1;
-                    let frame = if poisoned {
-                        TbFrame::Data(TbWire { k: tb.k, payload: alt_wire.to_bytes() })
-                    } else {
-                        TbFrame::Data(tb)
-                    };
-                    self.channel_send(
-                        Lane::CtbTb { stream: r },
-                        r,
-                        to.0 as usize,
-                        frame.to_bytes(),
-                        at,
-                    );
-                }
-                other => {
-                    self.handle_tb_effects(r, Lane::CtbTb { stream: r }, at, vec![other]);
-                }
-            }
-        }
-        true
-    }
-
-    /// Reads every receiver's register for `slot` of `stream`, retrying once
-    /// per owner when a read overlaps a write (§6.1). Returns parsed entries
-    /// in replica order and the quorum completion time.
-    fn read_register_slot(
-        &mut self,
-        r: usize,
-        stream: usize,
-        slot: usize,
-        at: Time,
-    ) -> (Vec<Option<RegEntry>>, Time) {
-        let host = HostId(r as u32);
-        let mut entries = Vec::with_capacity(self.n());
-        let mut completion = at;
-        for owner in 0..self.n() {
-            let reader = &self.reg_readers[stream][owner];
-            let mut attempt_at = at;
-            let mut parsed = None;
-            for _attempt in 0..2 {
-                match reader.read(&mut self.fabric, host, RegisterId(slot), attempt_at) {
-                    ReadOutcome::Value { value, completion: c, .. } => {
-                        completion = completion.max(c);
-                        parsed = RegEntry::from_bytes(&value).ok();
-                        break;
-                    }
-                    ReadOutcome::WriterByzantine { completion: c } => {
-                        completion = completion.max(c);
-                        break;
-                    }
-                    ReadOutcome::Retry { completion: c } => {
-                        completion = completion.max(c);
-                        attempt_at = c;
-                    }
-                    ReadOutcome::NoQuorum => break,
-                }
-            }
-            entries.push(parsed);
-        }
-        (entries, completion)
-    }
-
-    // ------------------------------------------------------------------
-    // TBcast + channel plumbing
-    // ------------------------------------------------------------------
-
-    fn handle_tb_effects(&mut self, r: usize, lane: Lane, at: Time, fx: Vec<TbEffect>) {
-        for e in fx {
-            match e {
-                TbEffect::SendTo { to, wire } => {
-                    match lane {
-                        Lane::CtbTb { .. } => self.counters.ctb_msgs += 1,
-                        Lane::ConsTb => self.counters.cons_msgs += 1,
-                        _ => {}
-                    }
-                    self.channel_send(lane, r, to.0 as usize, TbFrame::Data(wire).to_bytes(), at);
-                }
-                TbEffect::SendAck { to, upto } => {
-                    // Cumulative acks silence the broadcaster's
-                    // retransmission of the buffered tail (§4.2).
-                    self.channel_send(
-                        lane,
-                        r,
-                        to.0 as usize,
-                        TbFrame::Ack(TbAck { upto }).to_bytes(),
-                        at,
-                    );
-                }
-                TbEffect::Deliver { from, k: _, payload } => {
-                    self.deliver_tb_payload(r, lane, from, payload, at);
-                }
-            }
-        }
-    }
-
-    fn deliver_tb_payload(
-        &mut self,
-        r: usize,
-        lane: Lane,
-        from: ReplicaId,
-        payload: Vec<u8>,
-        at: Time,
-    ) {
-        match lane {
-            Lane::CtbTb { stream } => {
-                if let Ok(wire) = CtbWire::from_bytes(&payload) {
-                    self.ctb_call(r, stream, at, |c| c.on_tb_deliver(from, wire));
-                }
-            }
-            Lane::ConsTb => {
-                if let Ok(msg) = TbMsg::from_bytes(&payload) {
-                    self.engine_call(r, at, |e| e.on_tb_deliver(from, msg));
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn channel_send(&mut self, lane: Lane, from: usize, to: usize, bytes: Vec<u8>, at: Time) {
-        let mut at = at;
-        match self.byz_mode(from, at) {
-            // A silent replica stops transmitting entirely; it keeps
-            // receiving, which is what distinguishes it from a crash in the
-            // logs but not in effect.
-            Some(ByzantineMode::Silent) => return,
-            // A laggard is correct but slow: every outgoing message is
-            // delayed (a gray failure; the fast path must absorb or
-            // time out past it).
-            Some(ByzantineMode::Laggard) => at += Duration::from_micros(50),
-            _ => {}
-        }
-        let Some(ch) = self.channels.get_mut(&(lane, from, to)) else {
-            return;
-        };
-        let out = ch.tx.send(&mut self.fabric, at, &bytes);
-        let staged = ch.tx.staged_len() > 0;
-        let flush_at = ch.tx.next_flush_at();
-        for (_seq, arrival) in out.issued {
-            self.events.push(arrival + self.cfg.poll_pickup, Ev::Poll { lane, from, to });
-        }
-        if staged {
-            if let Some(t) = flush_at {
-                let t = if t > at { t } else { at + Duration::from_nanos(1) };
-                self.events.push(t, Ev::Flush { lane, from, to });
-            }
-        }
-    }
-
-    fn on_flush(&mut self, lane: Lane, from: usize, to: usize, at: Time) {
-        let Some(ch) = self.channels.get_mut(&(lane, from, to)) else {
-            return;
-        };
-        let out = ch.tx.flush(&mut self.fabric, at);
-        let staged = ch.tx.staged_len() > 0;
-        let flush_at = ch.tx.next_flush_at();
-        for (_seq, arrival) in out.issued {
-            self.events.push(arrival + self.cfg.poll_pickup, Ev::Poll { lane, from, to });
-        }
-        if staged {
-            if let Some(t) = flush_at {
-                let t = if t > at { t } else { at + Duration::from_nanos(1) };
-                self.events.push(t, Ev::Flush { lane, from, to });
-            }
-        }
-    }
-
-    fn on_poll(&mut self, lane: Lane, from: usize, to: usize, at: Time) {
-        let Some(ch) = self.channels.get_mut(&(lane, from, to)) else {
-            return;
-        };
-        let out = ch.rx.poll(&mut self.fabric, at);
-        if out.repoll {
-            self.events.push(at + Duration::from_nanos(200), Ev::Poll { lane, from, to });
-        }
-        for (_seq, payload) in out.delivered {
-            self.dispatch_message(lane, from, to, payload, at);
-        }
-    }
-
-    fn dispatch_message(&mut self, lane: Lane, from: usize, to: usize, payload: Vec<u8>, at: Time) {
-        match lane {
-            Lane::CtbTb { stream } => match TbFrame::from_bytes(&payload) {
-                Ok(TbFrame::Data(wire)) => {
-                    let fx = self.ctb_rx[to][stream][from].on_wire(wire);
-                    self.handle_tb_effects(to, lane, at, fx);
-                }
-                Ok(TbFrame::Ack(ack)) => {
-                    self.ctb_tx[to][stream].on_ack(ReplicaId(from as u32), ack.upto);
-                }
-                Err(_) => {}
-            },
-            Lane::ConsTb => match TbFrame::from_bytes(&payload) {
-                Ok(TbFrame::Data(wire)) => {
-                    let fx = self.cons_rx[to][from].on_wire(wire);
-                    self.handle_tb_effects(to, lane, at, fx);
-                }
-                Ok(TbFrame::Ack(ack)) => {
-                    self.cons_tx[to].on_ack(ReplicaId(from as u32), ack.upto);
-                }
-                Err(_) => {}
-            },
-            Lane::Direct => {
-                if let Ok(msg) = DirectMsg::from_bytes(&payload) {
-                    // A censoring leader pretends it never saw the request:
-                    // it drops follower echoes (and client requests below)
-                    // but participates in everything else.
-                    if matches!(msg, DirectMsg::Echo { .. })
-                        && self.byz_mode(to, at) == Some(ByzantineMode::CensorRequests)
-                    {
-                        return;
-                    }
-                    let f = ReplicaId(from as u32);
-                    self.engine_call(to, at, |e| e.on_direct(f, msg));
-                }
-            }
-            Lane::ClientReq => {
-                if let Ok(req) = Request::from_bytes(&payload) {
-                    self.counters.rpc_msgs += 1;
-                    if self.byz_mode(to, at) == Some(ByzantineMode::CensorRequests) {
-                        return;
-                    }
-                    self.engine_call(to, at, |e| e.on_client_request(req));
-                }
-            }
-            Lane::ClientResp => {
-                if let Ok(reply) = Reply::from_bytes(&payload) {
-                    let c = to - self.n();
-                    let fx = self.clients[c].on_reply(reply);
-                    for e in fx {
-                        if let ClientEffect::Complete { .. } = e {
-                            self.on_client_complete(c, at);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Clients and the run loop
-    // ------------------------------------------------------------------
-
-    /// One TBcast retransmission tick: every broadcaster this replica owns
-    /// resends its stale unacknowledged tail (§4.2), then the tick re-arms.
-    fn on_retransmit_tick(&mut self, r: usize, at: Time) {
-        if !self.crashed[r] {
-            for s in 0..self.n() {
-                let fx = self.ctb_tx[r][s].retransmit_stale();
-                self.handle_tb_effects(r, Lane::CtbTb { stream: s }, at, fx);
-            }
-            let fx = self.cons_tx[r].retransmit_stale();
-            self.handle_tb_effects(r, Lane::ConsTb, at, fx);
-        }
-        self.events.push(at + self.cfg.retransmit_period, Ev::Retransmit { r });
-    }
-
-    fn on_client_issue(&mut self, c: usize, at: Time) {
-        if !self.clients[c].is_idle() {
-            return;
-        }
-        let seq = self.completed;
-        let payload = (self.workload)(seq);
-        let (_id, fx) = self.clients[c].issue(payload);
-        self.issue_times[c] = at;
-        for e in fx {
-            if let ClientEffect::SendRequest { to, req } = e {
-                self.counters.rpc_msgs += 1;
-                self.channel_send(
-                    Lane::ClientReq,
-                    self.client_node(c),
-                    to.0 as usize,
-                    req.to_bytes(),
-                    at,
-                );
-            }
-        }
-    }
-
-    fn on_client_complete(&mut self, c: usize, at: Time) {
-        self.completed += 1;
-        if self.completed > self.warmup {
-            self.latency.record(at.since(self.issue_times[c]));
-        }
-        if self.completed < self.target {
-            self.events.push(at, Ev::ClientIssue { c });
-        }
+        self.dep.groups[0].replica_local_bytes(r)
     }
 
     /// Runs `warmup + requests` closed-loop requests and reports post-warmup
-    /// latency statistics.
+    /// latency statistics. The stall deadline is derived from the request
+    /// count and batch size via [`SimConfig::stall_deadline`], so large runs
+    /// cannot false-positive as stalls.
     ///
     /// # Panics
     ///
@@ -1017,13 +152,14 @@ impl Cluster {
     /// requested number of operations (the panic message carries per-replica
     /// protocol diagnostics).
     pub fn run(&mut self, requests: u64, warmup: u64) -> RunReport {
-        let report = self.run_until(requests, warmup, Time::ZERO + Duration::from_secs(60));
+        let deadline = self.dep.groups[0].cfg.stall_deadline(requests + warmup);
+        let report = self.run_until(requests, warmup, deadline);
         assert!(
             report.completed >= requests + warmup,
             "run stalled at {}/{} completed requests (t = {})\n{}",
             report.completed,
             requests + warmup,
-            self.now,
+            self.dep.now,
             self.diag_lines(),
         );
         report
@@ -1031,88 +167,14 @@ impl Cluster {
 
     /// Per-replica protocol diagnostics, one line each.
     pub fn diag_lines(&self) -> String {
-        let mut s: String = self
-            .engines
-            .iter()
-            .enumerate()
-            .map(|(r, e)| {
-                let ctb: Vec<String> = (0..self.n())
-                    .map(|st| {
-                        format!(
-                            "s{}:dlv{}/fifo{}",
-                            st,
-                            self.ctbs[r][st].max_delivered().0,
-                            e.fifo_position(ReplicaId(st as u32)).0,
-                        )
-                    })
-                    .collect();
-                format!("  {} crashed={} [{}]\n", e.diag(), self.crashed[r], ctb.join(" "))
-            })
-            .collect();
-        for (detector, culprit, why) in &self.byz_reports {
-            s.push_str(&format!("  r{detector} branded r{culprit} byzantine: {why}\n"));
-        }
-        s
+        self.dep.diag_lines()
     }
 
     /// Like [`Cluster::run`] but gives up (without panicking) when virtual
     /// time exceeds `deadline`, so stalls are observable instead of fatal.
     pub fn run_until(&mut self, requests: u64, warmup: u64, deadline: Time) -> RunReport {
-        self.target = requests + warmup;
-        self.warmup = warmup;
-        for c in 0..self.clients.len() {
-            self.events
-                .push(Time::ZERO + Duration::from_micros(1 + c as u64), Ev::ClientIssue { c });
-        }
-        let max_events = 200_000_000u64;
-        while let Some((t, ev)) = self.events.pop() {
-            self.now = t;
-            if self.completed >= self.target || t > deadline {
-                break;
-            }
-            assert!(self.events.total_pushed() < max_events, "simulation diverged (event flood)");
-            // Apply scheduled replica crashes.
-            for r in 0..self.n() {
-                if !self.crashed[r] {
-                    if let Some(ct) = self.cfg.failures.replica_crash_time(r) {
-                        if t >= ct {
-                            self.crashed[r] = true;
-                        }
-                    }
-                }
-            }
-            match ev {
-                Ev::Poll { lane, from, to } => self.on_poll(lane, from, to, t),
-                Ev::Flush { lane, from, to } => self.on_flush(lane, from, to, t),
-                Ev::Timer { r, kind } => {
-                    self.engine_call(r, t, |e| e.on_timer(kind));
-                }
-                Ev::CtbSlow { r, k } => {
-                    self.ctb_call(r, r, t, |c| c.on_slow_timeout(k));
-                }
-                Ev::CtbSignDone { r, k, sig } => {
-                    self.ctb_call(r, r, t, |c| c.on_sign_done(k, sig));
-                }
-                Ev::CtbVerifyDone { r, stream, tag, ok } => {
-                    self.ctb_call(r, stream, t, |c| c.on_verify_done(tag, ok));
-                }
-                Ev::CtbWritten { r, stream, k } => {
-                    self.ctb_call(r, stream, t, |c| c.on_register_written(k));
-                }
-                Ev::CtbReadDone { r, stream, k, entries } => {
-                    self.ctb_call(r, stream, t, |c| c.on_registers_read(k, entries));
-                }
-                Ev::ClientIssue { c } => self.on_client_issue(c, t),
-                Ev::Retransmit { r } => self.on_retransmit_tick(r, t),
-            }
-        }
-        RunReport {
-            latency: std::mem::take(&mut self.latency),
-            counters: self.counters,
-            completed: self.completed,
-            end: self.now,
-            views: self.engines.iter().map(|e| e.view()).collect(),
-        }
+        self.dep.run_loop(requests, warmup, deadline);
+        self.dep.aggregate_report()
     }
 }
 
@@ -1120,6 +182,7 @@ impl Cluster {
 mod tests {
     use super::*;
     use ubft_apps::FlipApp;
+    use ubft_types::Duration;
 
     fn flip_apps(n: usize) -> Vec<Box<dyn App>> {
         (0..n).map(|_| Box::new(FlipApp::new()) as Box<dyn App>).collect()
@@ -1308,5 +371,28 @@ mod tests {
         assert!(large.replica_local_bytes(0) > small.replica_local_bytes(0));
         // Disaggregated memory is small: well under 1 MiB per node.
         assert!(large.disagg_bytes_per_node() < 1 << 20);
+    }
+
+    #[test]
+    fn derived_stall_deadline_scales_with_size() {
+        let base = SimConfig::paper_default(1);
+        let small = base.stall_deadline(100);
+        let large = base.stall_deadline(1_000_000);
+        assert!(large > small);
+        // Batches amortize slots and shrink the budget; the shard count
+        // must NOT shrink it — a fully key-skewed stream may legally send
+        // everything to one group, and that schedule must fit.
+        let batched = base.clone().with_batch(64).stall_deadline(1_000_000);
+        let sharded = base.clone().with_shards(8).stall_deadline(1_000_000);
+        assert!(batched < large);
+        assert!(sharded >= large);
+        assert!(batched > Time::ZERO + Duration::from_secs(5));
+        // An asynchronous prefix defers the whole budget: a run owed no
+        // progress before GST cannot be declared stalled by it.
+        let gst = Time::ZERO + Duration::from_secs(30);
+        let mut late_gst = base.clone();
+        late_gst.failures =
+            ubft_sim::failure::FailurePlan::none().with_asynchrony(gst, Duration::from_micros(50));
+        assert!(late_gst.stall_deadline(100) > gst + Duration::from_secs(5));
     }
 }

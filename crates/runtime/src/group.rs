@@ -1,0 +1,1338 @@
+//! One consensus group's runtime, and the deployment driver shared by the
+//! single-group [`Cluster`](crate::cluster::Cluster) facade and the
+//! multi-group [`ShardedCluster`](crate::sharded::ShardedCluster).
+//!
+//! A [`GroupRuntime`] owns everything one `2f + 1` group needs — its
+//! [`ReplicaNode`]s, the channel lanes between them, its partition of the
+//! SWMR register banks, and its closed-loop clients — but *not* the fabric
+//! or the event queue: those are shared deployment-wide so that many
+//! groups can ride one RDMA network and one set of passive memory nodes
+//! (the paper's scale-out story). Every event in the shared queue is
+//! tagged with the owning group's id; all indices inside a group are
+//! group-local and mapped into the global `HostId` space via each group's
+//! host-block base.
+
+use std::collections::HashMap;
+
+use ubft_core::app::App;
+use ubft_core::client::{Client, ClientEffect};
+use ubft_core::engine::{CryptoOps, Effect, Engine, EngineConfig, PathMode, TimerKind};
+use ubft_core::msg::{CtbMsg, DirectMsg, Reply, Request, TbMsg};
+use ubft_crypto::{KeyRing, Signature};
+use ubft_ctb::ctbcast::{Ctb, CtbConfig, CtbEffect, RegEntry, SlowMode, VerifyTag};
+use ubft_ctb::tbcast::{TailBroadcaster, TailReceiver, TbEffect};
+use ubft_ctb::wire::{signed_bytes, CtbWire, TbAck, TbFrame, TbWire};
+use ubft_dmem::register::{ReadOutcome, RegisterBank, RegisterId, RegisterReader, RegisterWriter};
+use ubft_rdma::Fabric;
+use ubft_sim::failure::ByzantineMode;
+use ubft_sim::net::NetworkModel;
+use ubft_sim::stats::LatencyStats;
+use ubft_sim::{EventQueue, HostId, SimRng};
+use ubft_transport::channel::{create_channel, ChannelReceiver, ChannelSender, ChannelSpec};
+use ubft_types::wire::Wire;
+use ubft_types::{ClientId, Duration, ProcessId, ReplicaId, SeqId, Time, View};
+
+use crate::calibration::SimConfig;
+use crate::cluster::{OpCounters, RunReport};
+use crate::node::ReplicaNode;
+
+/// Message lanes between nodes of one group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Lane {
+    /// TBcast traffic of CTBcast stream `stream`.
+    CtbTb { stream: usize },
+    /// Consensus-level TBcast traffic.
+    ConsTb,
+    /// Point-to-point protocol messages.
+    Direct,
+    /// Client requests.
+    ClientReq,
+    /// Replica replies.
+    ClientResp,
+}
+
+/// Simulation events. All indices are group-local; the queue tags each
+/// event with its group id.
+pub(crate) enum Ev {
+    Poll {
+        lane: Lane,
+        from: usize,
+        to: usize,
+    },
+    Flush {
+        lane: Lane,
+        from: usize,
+        to: usize,
+    },
+    Timer {
+        r: usize,
+        kind: TimerKind,
+    },
+    CtbSlow {
+        r: usize,
+        k: SeqId,
+    },
+    CtbSignDone {
+        r: usize,
+        k: SeqId,
+        sig: Signature,
+    },
+    CtbVerifyDone {
+        r: usize,
+        stream: usize,
+        tag: VerifyTag,
+        ok: bool,
+    },
+    CtbWritten {
+        r: usize,
+        stream: usize,
+        k: SeqId,
+    },
+    CtbReadDone {
+        r: usize,
+        stream: usize,
+        k: SeqId,
+        entries: Vec<Option<RegEntry>>,
+    },
+    ClientIssue {
+        c: usize,
+    },
+    /// Periodic TBcast retransmission tick for replica `r` (§4.2: the
+    /// broadcaster retransmits its buffered tail until acknowledged).
+    Retransmit {
+        r: usize,
+    },
+}
+
+/// A group-tagged event in the shared deployment queue.
+pub(crate) type GroupEv = (u32, Ev);
+
+/// A group workload source: `None` means "no request available for this
+/// group right now" (a sharded source whose pending generation all routed
+/// elsewhere); the client retries shortly instead of stalling forever.
+pub(crate) type GroupWorkload = Box<dyn FnMut(u64) -> Option<Vec<u8>>>;
+
+/// How long an idle client waits before re-asking an empty workload
+/// source. Never fires for single-group deployments (their sources are
+/// total functions).
+fn workload_retry() -> Duration {
+    Duration::from_micros(5)
+}
+
+struct Chan {
+    tx: ChannelSender,
+    rx: ChannelReceiver,
+}
+
+/// Deployment-global run control: the closed loop stops on the *total*
+/// completed count, and warmup discarding is likewise global, so a
+/// single-group run behaves exactly like the pre-sharding `Cluster`.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct RunCtl {
+    pub completed: u64,
+    pub target: u64,
+    pub warmup: u64,
+}
+
+/// The deployment-wide mutable context a group borrows while handling one
+/// event: the shared fabric, the shared (group-tagged) event queue, and
+/// the global run control.
+pub(crate) struct Shared<'a> {
+    pub fabric: &'a mut Fabric,
+    pub events: &'a mut EventQueue<GroupEv>,
+    pub ctl: &'a mut RunCtl,
+}
+
+/// One consensus group: `2f + 1` [`ReplicaNode`]s, their lanes, their
+/// partition of the register banks, and their closed-loop clients.
+pub(crate) struct GroupRuntime {
+    gid: u32,
+    pub(crate) cfg: SimConfig,
+    /// First global host id of this group's `n + n_clients` host block.
+    host_base: u32,
+    pub(crate) nodes: Vec<ReplicaNode>,
+    channels: HashMap<(Lane, usize, usize), Chan>,
+    /// `reg_readers[stream][owner]`: shared read endpoints (readers are
+    /// host-agnostic; writers live with their owning node).
+    reg_readers: Vec<Vec<RegisterReader>>,
+    reg_banks_bytes_per_node: usize,
+    clients: Vec<Client>,
+    issue_times: Vec<Time>,
+    /// Consecutive empty workload pulls per client, driving exponential
+    /// retry backoff so starved shards cannot flood the event queue.
+    idle_backoff: Vec<u32>,
+    workload: GroupWorkload,
+    ring: KeyRing,
+    /// Not-yet-applied scheduled crash times, one slot per replica
+    /// (precomputed from the fault plan so the hot event loop never
+    /// rescans it; an entry is cleared once the crash takes effect).
+    crash_times: Vec<Option<Time>>,
+    /// How many entries of `crash_times` are still pending.
+    pending_crashes: usize,
+    /// Byzantine detections reported by engines: (detector, culprit, why).
+    byz_reports: Vec<(usize, u32, String)>,
+    pub(crate) counters: OpCounters,
+    pub(crate) latency: LatencyStats,
+    pub(crate) completed: u64,
+}
+
+impl GroupRuntime {
+    /// Builds one group inside an existing deployment: creates engines,
+    /// CTBcast stacks, channels, and register banks on the shared fabric,
+    /// and pushes the group's start-up events (engine watchdogs, TBcast
+    /// retransmission ticks) onto the shared queue.
+    pub(crate) fn new(
+        gid: u32,
+        cfg: SimConfig,
+        host_base: u32,
+        mem_hosts: &[HostId],
+        apps: Vec<Box<dyn App>>,
+        workload: GroupWorkload,
+        sh: &mut Shared<'_>,
+    ) -> Self {
+        let n = cfg.params.n();
+        assert_eq!(apps.len(), n, "one app instance per replica");
+        let n_clients = cfg.n_clients.max(1);
+
+        let ring = KeyRing::generate(
+            cfg.seed ^ 0x5EED,
+            (0..n as u32)
+                .map(|i| ProcessId::Replica(ReplicaId(i)))
+                .chain((0..n_clients as u32).map(|i| ProcessId::Client(ClientId(i)))),
+        );
+
+        // Engines.
+        let engines: Vec<Engine> = (0..n as u32)
+            .map(|i| {
+                let mut ecfg = EngineConfig::new(cfg.params.clone(), cfg.path);
+                ecfg.echo_round = cfg.echo_round;
+                if let Some(every) = cfg.summary_every {
+                    ecfg.summary_half = every;
+                }
+                ecfg.max_batch = cfg.max_batch.max(1);
+                if let Some(depth) = cfg.pipeline_depth {
+                    ecfg.pipeline_depth = depth.max(1);
+                }
+                Engine::new(ReplicaId(i), ecfg, ring.clone())
+            })
+            .collect();
+
+        // CTBcast instances per replica: one per stream.
+        let replica_ids: Vec<ReplicaId> = cfg.params.replicas().collect();
+        let ctb_cfg_for = |_s: usize| match cfg.path {
+            PathMode::FastOnly => {
+                CtbConfig { n, tail: cfg.params.tail, fast_enabled: true, slow: SlowMode::Never }
+            }
+            PathMode::SlowOnly => {
+                CtbConfig { n, tail: cfg.params.tail, fast_enabled: false, slow: SlowMode::Always }
+            }
+            PathMode::FastWithFallback => CtbConfig::deployed(n, cfg.params.tail),
+        };
+        let mut ctbs: Vec<Vec<Ctb>> = (0..n)
+            .map(|r| {
+                (0..n)
+                    .map(|s| {
+                        Ctb::new(
+                            ReplicaId(r as u32),
+                            ReplicaId(s as u32),
+                            replica_ids.clone(),
+                            ctb_cfg_for(s),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // TBcast endpoints. Buffers hold 2t messages (Algorithm 1).
+        let cap = 2 * cfg.params.tail;
+        let peers_of = |r: usize| -> Vec<ReplicaId> {
+            (0..n as u32).map(ReplicaId).filter(|x| x.0 as usize != r).collect()
+        };
+        let mut ctb_tx: Vec<Vec<TailBroadcaster>> = (0..n)
+            .map(|r| {
+                (0..n)
+                    .map(|_s| TailBroadcaster::new(ReplicaId(r as u32), peers_of(r), cap))
+                    .collect()
+            })
+            .collect();
+        let mut ctb_rx: Vec<Vec<Vec<TailReceiver>>> = (0..n)
+            .map(|_r| {
+                (0..n)
+                    .map(|_s| {
+                        (0..n)
+                            .map(|sender| TailReceiver::new(ReplicaId(sender as u32), cap))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut cons_tx: Vec<TailBroadcaster> =
+            (0..n).map(|r| TailBroadcaster::new(ReplicaId(r as u32), peers_of(r), cap)).collect();
+        let mut cons_rx: Vec<Vec<TailReceiver>> = (0..n)
+            .map(|_r| (0..n).map(|s| TailReceiver::new(ReplicaId(s as u32), cap)).collect())
+            .collect();
+
+        // Channels, in the shared fabric, addressed by global host ids.
+        let host = |local: usize| HostId(host_base + local as u32);
+        let spec = ChannelSpec { slots: cap, slot_payload: cfg.slot_payload() };
+        let wide_spec = ChannelSpec { slots: cap, slot_payload: cfg.wide_slot_payload() };
+        let client_spec = ChannelSpec { slots: 64, slot_payload: cfg.slot_payload() };
+        let mut channels = HashMap::new();
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                for s in 0..n {
+                    let (mut tx, rx) = create_channel(sh.fabric, host(to), spec);
+                    tx.bind_issuer(host(from));
+                    channels.insert((Lane::CtbTb { stream: s }, from, to), Chan { tx, rx });
+                }
+                for lane in [Lane::ConsTb, Lane::Direct] {
+                    let (mut tx, rx) = create_channel(sh.fabric, host(to), wide_spec);
+                    tx.bind_issuer(host(from));
+                    channels.insert((lane, from, to), Chan { tx, rx });
+                }
+            }
+        }
+        for c in 0..n_clients {
+            let c_node = n + c;
+            for r in 0..n {
+                let (mut tx, rx) = create_channel(sh.fabric, host(r), client_spec);
+                tx.bind_issuer(host(c_node));
+                channels.insert((Lane::ClientReq, c_node, r), Chan { tx, rx });
+                let (mut tx, rx) = create_channel(sh.fabric, host(c_node), client_spec);
+                tx.bind_issuer(host(r));
+                channels.insert((Lane::ClientResp, r, c_node), Chan { tx, rx });
+            }
+        }
+
+        // SWMR register banks: banks[stream][owner], replicated on the
+        // shared memory nodes; only `owner` holds the writer. Each group
+        // creates its own banks, so the memory nodes' space is partitioned
+        // per group.
+        let mut reg_writers: Vec<Vec<RegisterWriter>> =
+            (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut reg_readers: Vec<Vec<RegisterReader>> = Vec::with_capacity(n);
+        let mut bank_bytes = 0usize;
+        for _s in 0..n {
+            let mut rs = Vec::with_capacity(n);
+            for owner_writers in reg_writers.iter_mut() {
+                let bank = RegisterBank::create(
+                    sh.fabric,
+                    mem_hosts,
+                    cfg.params.tail,
+                    RegEntry::encoded_size(),
+                    cfg.params.delta,
+                );
+                bank_bytes += bank.bytes_per_node();
+                owner_writers.push(bank.writer());
+                rs.push(bank.reader());
+            }
+            reg_readers.push(rs);
+        }
+
+        let clients: Vec<Client> = (0..n_clients as u32)
+            .map(|i| Client::new(ClientId(i), replica_ids.clone(), cfg.params.quorum()))
+            .collect();
+
+        let nodes: Vec<ReplicaNode> = engines
+            .into_iter()
+            .zip(apps)
+            .map(|(engine, app)| ReplicaNode {
+                engine,
+                app,
+                ctbs: ctbs.remove(0),
+                ctb_tx: ctb_tx.remove(0),
+                ctb_rx: ctb_rx.remove(0),
+                cons_tx: cons_tx.remove(0),
+                cons_rx: cons_rx.remove(0),
+                reg_writers: reg_writers.remove(0),
+                busy: Time::ZERO,
+                crypto_busy: Time::ZERO,
+                crashed: false,
+            })
+            .collect();
+
+        let crash_times: Vec<Option<Time>> =
+            (0..n).map(|r| cfg.failures.replica_crash_time(r)).collect();
+        let pending_crashes = crash_times.iter().filter(|t| t.is_some()).count();
+        let mut group = GroupRuntime {
+            gid,
+            host_base,
+            nodes,
+            channels,
+            reg_readers,
+            reg_banks_bytes_per_node: bank_bytes,
+            clients,
+            issue_times: vec![Time::ZERO; n_clients],
+            idle_backoff: vec![0; n_clients],
+            workload,
+            ring,
+            crash_times,
+            pending_crashes,
+            byz_reports: Vec::new(),
+            counters: OpCounters::default(),
+            latency: LatencyStats::new(),
+            completed: 0,
+            cfg,
+        };
+        // Engine start-up (progress watchdogs).
+        for r in 0..n {
+            let fx = group.nodes[r].engine.start();
+            let ops = group.nodes[r].engine.take_crypto_ops();
+            group.apply_engine_effects(sh, r, Time::ZERO, fx, ops);
+        }
+        // TBcast retransmission ticks, staggered so replicas do not burst
+        // in lockstep.
+        for r in 0..n {
+            let offset = Duration::from_nanos(1_000 * (r as u64 + 1));
+            sh.events.push(
+                Time::ZERO + group.cfg.retransmit_period + offset,
+                (gid, Ev::Retransmit { r }),
+            );
+        }
+        group
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.params.n()
+    }
+
+    pub(crate) fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn client_node(&self, c: usize) -> usize {
+        self.n() + c
+    }
+
+    fn push(&self, sh: &mut Shared<'_>, at: Time, ev: Ev) {
+        sh.events.push(at, (self.gid, ev));
+    }
+
+    /// The Byzantine behaviour of host `r` active at `at`, if `r` is a
+    /// replica with a scheduled fault.
+    fn byz_mode(&self, r: usize, at: Time) -> Option<ByzantineMode> {
+        if r < self.n() {
+            self.cfg.failures.byzantine_mode(r, at)
+        } else {
+            None
+        }
+    }
+
+    /// Applies scheduled replica crashes up to virtual time `t`. O(1) when
+    /// nothing is pending, which is every event of a failure-free run.
+    pub(crate) fn apply_scheduled_crashes(&mut self, t: Time) {
+        if self.pending_crashes == 0 {
+            return;
+        }
+        for r in 0..self.nodes.len() {
+            if let Some(ct) = self.crash_times[r] {
+                if t >= ct {
+                    self.nodes[r].crashed = true;
+                    self.crash_times[r] = None;
+                    self.pending_crashes -= 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observers
+    // ------------------------------------------------------------------
+
+    /// The application state digest of replica `r`.
+    pub(crate) fn app_digest(&self, r: usize) -> ubft_crypto::Digest {
+        self.nodes[r].app.snapshot_digest()
+    }
+
+    /// First slot replica `r` has not executed.
+    pub(crate) fn exec_next(&self, r: usize) -> ubft_types::Slot {
+        self.nodes[r].engine.exec_next()
+    }
+
+    /// The view replica `r` is in.
+    pub(crate) fn view_of(&self, r: usize) -> View {
+        self.nodes[r].engine.view()
+    }
+
+    /// Individual requests replica `r` has decided.
+    pub(crate) fn decided_of(&self, r: usize) -> u64 {
+        self.nodes[r].engine.decided_count()
+    }
+
+    /// Final views of every replica, in replica order.
+    pub(crate) fn views(&self) -> Vec<View> {
+        self.nodes.iter().map(|nd| nd.engine.view()).collect()
+    }
+
+    /// Disaggregated bytes this group's register banks occupy on one
+    /// memory node.
+    pub(crate) fn disagg_bytes_per_node(&self) -> usize {
+        self.reg_banks_bytes_per_node
+    }
+
+    /// Approximate replica-local resident bytes of replica `r`: channel
+    /// buffers it hosts, sender mirrors/staging, TB retransmission
+    /// buffers, and CTBcast bookkeeping (Table 2).
+    pub(crate) fn replica_local_bytes(&self, r: usize) -> usize {
+        let mut total = 0usize;
+        for ((_lane, from, to), ch) in &self.channels {
+            if *to == r {
+                total += ch.tx.buffer_bytes(); // receiver-side buffer
+            }
+            if *from == r {
+                total += ch.tx.buffer_bytes(); // sender mirror + staging
+            }
+        }
+        total += self.nodes[r].protocol_resident_bytes();
+        total
+    }
+
+    /// Per-replica protocol diagnostics, one line each.
+    pub(crate) fn diag_lines(&self) -> String {
+        let mut s: String = self
+            .nodes
+            .iter()
+            .map(|nd| {
+                let ctb: Vec<String> = (0..self.n())
+                    .map(|st| {
+                        format!(
+                            "s{}:dlv{}/fifo{}",
+                            st,
+                            nd.ctbs[st].max_delivered().0,
+                            nd.engine.fifo_position(ReplicaId(st as u32)).0,
+                        )
+                    })
+                    .collect();
+                format!("  {} crashed={} [{}]\n", nd.engine.diag(), nd.crashed, ctb.join(" "))
+            })
+            .collect();
+        for (detector, culprit, why) in &self.byz_reports {
+            s.push_str(&format!("  r{detector} branded r{culprit} byzantine: {why}\n"));
+        }
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Cost charging
+    // ------------------------------------------------------------------
+
+    fn charge(&mut self, r: usize, at: Time, extra: Duration) -> Time {
+        let dispatch = self.cfg.cost.dispatch;
+        let node = &mut self.nodes[r];
+        let start = if at > node.busy { at } else { node.busy };
+        let done = start + dispatch + extra;
+        node.busy = done;
+        done
+    }
+
+    fn crypto_cost(&self, ops: CryptoOps) -> Duration {
+        Duration::from_nanos(
+            self.cfg.cost.sign_total().as_nanos() * ops.signs as u64
+                + self.cfg.cost.verify_total().as_nanos() * ops.verifies as u64,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Engine plumbing
+    // ------------------------------------------------------------------
+
+    fn engine_call(
+        &mut self,
+        sh: &mut Shared<'_>,
+        r: usize,
+        at: Time,
+        f: impl FnOnce(&mut Engine) -> Vec<Effect>,
+    ) {
+        if self.nodes[r].crashed {
+            return;
+        }
+        let fx = f(&mut self.nodes[r].engine);
+        let ops = self.nodes[r].engine.take_crypto_ops();
+        self.apply_engine_effects(sh, r, at, fx, ops);
+    }
+
+    fn apply_engine_effects(
+        &mut self,
+        sh: &mut Shared<'_>,
+        r: usize,
+        at: Time,
+        fx: Vec<Effect>,
+        ops: CryptoOps,
+    ) {
+        self.counters.engine_signs += ops.signs as u64;
+        self.counters.engine_verifies += ops.verifies as u64;
+        // The event-loop dispatch runs on the replica's main core; crypto is
+        // handed to the replica's crypto worker (§5.4 keeps bookkeeping
+        // signatures off the critical path), so it delays this call's
+        // *effects* without blocking subsequent message processing.
+        let done = self.charge(r, at, Duration::ZERO);
+        let effect_at = if ops.is_zero() {
+            done
+        } else {
+            let cost = self.crypto_cost(ops);
+            let node = &mut self.nodes[r];
+            let start = if done > node.crypto_busy { done } else { node.crypto_busy };
+            let fin = start + cost;
+            node.crypto_busy = fin;
+            fin
+        };
+        for e in fx {
+            self.engine_effect(sh, r, effect_at, e);
+        }
+    }
+
+    fn engine_effect(&mut self, sh: &mut Shared<'_>, r: usize, at: Time, e: Effect) {
+        match e {
+            Effect::CtbBroadcast(msg) => {
+                let bytes = msg.to_bytes();
+                let (_k, cfx) = self.nodes[r].ctbs[r].broadcast(bytes);
+                for ce in cfx {
+                    self.ctb_effect(sh, r, r, at, ce);
+                }
+            }
+            Effect::TbBroadcast(msg) => {
+                let bytes = msg.to_bytes();
+                let (_k, tfx) = self.nodes[r].cons_tx.broadcast(bytes);
+                self.handle_tb_effects(sh, r, Lane::ConsTb, at, tfx);
+            }
+            Effect::SendReplica { to, msg } => {
+                self.counters.direct_msgs += 1;
+                self.channel_send(sh, Lane::Direct, r, to.0 as usize, msg.to_bytes(), at);
+            }
+            Effect::Execute { slot: _, req } => {
+                let cost = self.nodes[r].app.execute_cost(&req.payload);
+                let payload = self.nodes[r].app.execute(&req.payload);
+                let done = self.charge(r, at, cost);
+                if !req.is_noop() && (req.id.client.0 as usize) < self.clients.len() {
+                    let reply = Reply { id: req.id, replica: ReplicaId(r as u32), payload };
+                    let c_node = self.client_node(req.id.client.0 as usize);
+                    self.counters.rpc_msgs += 1;
+                    self.channel_send(sh, Lane::ClientResp, r, c_node, reply.to_bytes(), done);
+                }
+            }
+            Effect::RequestSnapshot { base } => {
+                let digest = self.nodes[r].app.snapshot_digest();
+                self.engine_call(sh, r, at, |e| e.on_snapshot(base, digest));
+            }
+            Effect::ArmTimer { kind } => {
+                let after = match kind {
+                    TimerKind::Progress => {
+                        // PBFT-style backoff: fruitless view changes double
+                        // the watchdog period so slow view changes complete.
+                        self.cfg.progress_timeout
+                            * u64::from(self.nodes[r].engine.progress_backoff())
+                    }
+                    TimerKind::SlotSlowTrigger(_) => self.cfg.slow_trigger,
+                    TimerKind::EchoFallback(_) => self.cfg.echo_fallback,
+                };
+                self.push(sh, at + after, Ev::Timer { r, kind });
+            }
+            Effect::ByzantineDetected { replica, reason } => {
+                self.byz_reports.push((r, replica.0, reason));
+            }
+            Effect::CheckpointAdopted { .. } | Effect::ViewChanged { .. } => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CTBcast plumbing
+    // ------------------------------------------------------------------
+
+    fn ctb_call(
+        &mut self,
+        sh: &mut Shared<'_>,
+        r: usize,
+        stream: usize,
+        at: Time,
+        f: impl FnOnce(&mut Ctb) -> Vec<CtbEffect>,
+    ) {
+        if self.nodes[r].crashed {
+            return;
+        }
+        let fx = f(&mut self.nodes[r].ctbs[stream]);
+        let done = self.charge(r, at, Duration::ZERO);
+        for e in fx {
+            self.ctb_effect(sh, r, stream, done, e);
+        }
+    }
+
+    fn ctb_effect(&mut self, sh: &mut Shared<'_>, r: usize, stream: usize, at: Time, e: CtbEffect) {
+        match e {
+            CtbEffect::Broadcast(wire) => {
+                if stream == r
+                    && self.byz_mode(r, at) == Some(ByzantineMode::EquivocateProposals)
+                    && self.equivocate_broadcast(sh, r, at, &wire)
+                {
+                    return;
+                }
+                let bytes = wire.to_bytes();
+                let (_k, tfx) = self.nodes[r].ctb_tx[stream].broadcast(bytes);
+                self.handle_tb_effects(sh, r, Lane::CtbTb { stream }, at, tfx);
+            }
+            CtbEffect::Sign { k, fp } => {
+                self.counters.ctb_signs += 1;
+                let signer = self
+                    .ring
+                    .signer(ProcessId::Replica(ReplicaId(stream as u32)))
+                    .expect("replica key");
+                let sig = signer.sign(&signed_bytes(ReplicaId(stream as u32), k, &fp));
+                self.push(sh, at + self.cfg.cost.sign_total(), Ev::CtbSignDone { r, k, sig });
+            }
+            CtbEffect::Verify { tag, k, fp, sig } => {
+                self.counters.ctb_verifies += 1;
+                let ok = self.ring.verify(
+                    ProcessId::Replica(ReplicaId(stream as u32)),
+                    &signed_bytes(ReplicaId(stream as u32), k, &fp),
+                    &sig,
+                );
+                self.push(
+                    sh,
+                    at + self.cfg.cost.verify_total(),
+                    Ev::CtbVerifyDone { r, stream, tag, ok },
+                );
+            }
+            CtbEffect::WriteRegister { slot, k, entry } => {
+                self.counters.reg_writes += 1;
+                let host = HostId(self.host_base + r as u32);
+                let mut entry = entry;
+                // A register-corrupting replica stores a garbled fingerprint
+                // in its own SWMR slot. Readers must treat the entry as a
+                // suspect, fail its signature check, and deliver anyway
+                // (§6.1: forged entries cannot block delivery).
+                if self.byz_mode(r, at) == Some(ByzantineMode::CorruptRegisters) {
+                    let mut fp = *entry.fp.as_bytes();
+                    fp[0] ^= 0xFF;
+                    fp[31] ^= 0xFF;
+                    entry.fp = ubft_crypto::Digest::from_bytes(fp);
+                }
+                let bytes = entry.to_bytes();
+                let done = self.nodes[r].reg_writers[stream].write(
+                    sh.fabric,
+                    host,
+                    RegisterId(slot),
+                    k.0,
+                    &bytes,
+                    at,
+                );
+                if let Some(done) = done {
+                    self.push(sh, done, Ev::CtbWritten { r, stream, k });
+                }
+            }
+            CtbEffect::ReadSlot { slot, k } => {
+                self.counters.reg_reads += 1;
+                let (entries, completion) = self.read_register_slot(sh, r, stream, slot, at);
+                self.push(sh, completion, Ev::CtbReadDone { r, stream, k, entries });
+            }
+            CtbEffect::Deliver { k, payload } => match CtbMsg::from_bytes(&payload) {
+                Ok(msg) => {
+                    let s = ReplicaId(stream as u32);
+                    self.engine_call(sh, r, at, |e| e.on_ctb_deliver(s, k, msg));
+                }
+                Err(_) => {
+                    let s = ReplicaId(stream as u32);
+                    self.engine_call(sh, r, at, |e| e.on_ctb_equivocation(s, k));
+                }
+            },
+            CtbEffect::Equivocation { k } => {
+                let s = ReplicaId(stream as u32);
+                self.engine_call(sh, r, at, |e| e.on_ctb_equivocation(s, k));
+            }
+            CtbEffect::ArmSlowTimer { k } => {
+                self.push(sh, at + self.cfg.slow_trigger, Ev::CtbSlow { r, k });
+            }
+        }
+    }
+
+    /// Byzantine equivocation: the broadcaster of stream `r` sends
+    /// *different* proposals to different receivers under the same CTBcast
+    /// id — the exact attack CTBcast exists to stop. Returns `true` when the
+    /// frame was handled (it carried a fast-path `LOCK` of a `PREPARE`);
+    /// other frames fall through to the honest path so the Byzantine replica
+    /// still participates in the rest of the protocol.
+    fn equivocate_broadcast(
+        &mut self,
+        sh: &mut Shared<'_>,
+        r: usize,
+        at: Time,
+        wire: &CtbWire,
+    ) -> bool {
+        let CtbWire::Lock { m, .. } = wire else {
+            return false;
+        };
+        let Ok(CtbMsg::Prepare(prep)) = CtbMsg::from_bytes(m) else {
+            return false;
+        };
+        // Register the broadcast with the honest TailBroadcaster (sequence
+        // numbers, retransmission buffer, self-delivery) but discard its
+        // uniform sends; hand-craft a poisoned variant for odd receivers.
+        let (k, tfx) = self.nodes[r].ctb_tx[r].broadcast(wire.to_bytes());
+        let mut alt = prep.clone();
+        let mut reqs = alt.batch.requests().to_vec();
+        if reqs[0].payload.is_empty() {
+            reqs[0].payload.push(0xFF);
+        } else {
+            reqs[0].payload[0] ^= 0xFF;
+        }
+        alt.batch = ubft_core::msg::Batch::new(reqs);
+        let alt_wire = CtbWire::Lock { k, m: CtbMsg::Prepare(alt).to_bytes() };
+        for e in tfx {
+            match e {
+                TbEffect::SendTo { to, wire: tb } => {
+                    self.counters.ctb_msgs += 1;
+                    let poisoned = to.0 % 2 == 1;
+                    let frame = if poisoned {
+                        TbFrame::Data(TbWire { k: tb.k, payload: alt_wire.to_bytes() })
+                    } else {
+                        TbFrame::Data(tb)
+                    };
+                    self.channel_send(
+                        sh,
+                        Lane::CtbTb { stream: r },
+                        r,
+                        to.0 as usize,
+                        frame.to_bytes(),
+                        at,
+                    );
+                }
+                other => {
+                    self.handle_tb_effects(sh, r, Lane::CtbTb { stream: r }, at, vec![other]);
+                }
+            }
+        }
+        true
+    }
+
+    /// Reads every receiver's register for `slot` of `stream`, retrying once
+    /// per owner when a read overlaps a write (§6.1). Returns parsed entries
+    /// in replica order and the quorum completion time.
+    fn read_register_slot(
+        &mut self,
+        sh: &mut Shared<'_>,
+        r: usize,
+        stream: usize,
+        slot: usize,
+        at: Time,
+    ) -> (Vec<Option<RegEntry>>, Time) {
+        let host = HostId(self.host_base + r as u32);
+        let mut entries = Vec::with_capacity(self.n());
+        let mut completion = at;
+        for owner in 0..self.n() {
+            let reader = &self.reg_readers[stream][owner];
+            let mut attempt_at = at;
+            let mut parsed = None;
+            for _attempt in 0..2 {
+                match reader.read(sh.fabric, host, RegisterId(slot), attempt_at) {
+                    ReadOutcome::Value { value, completion: c, .. } => {
+                        completion = completion.max(c);
+                        parsed = RegEntry::from_bytes(&value).ok();
+                        break;
+                    }
+                    ReadOutcome::WriterByzantine { completion: c } => {
+                        completion = completion.max(c);
+                        break;
+                    }
+                    ReadOutcome::Retry { completion: c } => {
+                        completion = completion.max(c);
+                        attempt_at = c;
+                    }
+                    ReadOutcome::NoQuorum => break,
+                }
+            }
+            entries.push(parsed);
+        }
+        (entries, completion)
+    }
+
+    // ------------------------------------------------------------------
+    // TBcast + channel plumbing
+    // ------------------------------------------------------------------
+
+    fn handle_tb_effects(
+        &mut self,
+        sh: &mut Shared<'_>,
+        r: usize,
+        lane: Lane,
+        at: Time,
+        fx: Vec<TbEffect>,
+    ) {
+        for e in fx {
+            match e {
+                TbEffect::SendTo { to, wire } => {
+                    match lane {
+                        Lane::CtbTb { .. } => self.counters.ctb_msgs += 1,
+                        Lane::ConsTb => self.counters.cons_msgs += 1,
+                        _ => {}
+                    }
+                    self.channel_send(
+                        sh,
+                        lane,
+                        r,
+                        to.0 as usize,
+                        TbFrame::Data(wire).to_bytes(),
+                        at,
+                    );
+                }
+                TbEffect::SendAck { to, upto } => {
+                    // Cumulative acks silence the broadcaster's
+                    // retransmission of the buffered tail (§4.2).
+                    self.channel_send(
+                        sh,
+                        lane,
+                        r,
+                        to.0 as usize,
+                        TbFrame::Ack(TbAck { upto }).to_bytes(),
+                        at,
+                    );
+                }
+                TbEffect::Deliver { from, k: _, payload } => {
+                    self.deliver_tb_payload(sh, r, lane, from, payload, at);
+                }
+            }
+        }
+    }
+
+    fn deliver_tb_payload(
+        &mut self,
+        sh: &mut Shared<'_>,
+        r: usize,
+        lane: Lane,
+        from: ReplicaId,
+        payload: Vec<u8>,
+        at: Time,
+    ) {
+        match lane {
+            Lane::CtbTb { stream } => {
+                if let Ok(wire) = CtbWire::from_bytes(&payload) {
+                    self.ctb_call(sh, r, stream, at, |c| c.on_tb_deliver(from, wire));
+                }
+            }
+            Lane::ConsTb => {
+                if let Ok(msg) = TbMsg::from_bytes(&payload) {
+                    self.engine_call(sh, r, at, |e| e.on_tb_deliver(from, msg));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn channel_send(
+        &mut self,
+        sh: &mut Shared<'_>,
+        lane: Lane,
+        from: usize,
+        to: usize,
+        bytes: Vec<u8>,
+        at: Time,
+    ) {
+        let mut at = at;
+        match self.byz_mode(from, at) {
+            // A silent replica stops transmitting entirely; it keeps
+            // receiving, which is what distinguishes it from a crash in the
+            // logs but not in effect.
+            Some(ByzantineMode::Silent) => return,
+            // A laggard is correct but slow: every outgoing message is
+            // delayed (a gray failure; the fast path must absorb or
+            // time out past it).
+            Some(ByzantineMode::Laggard) => at += Duration::from_micros(50),
+            _ => {}
+        }
+        let Some(ch) = self.channels.get_mut(&(lane, from, to)) else {
+            return;
+        };
+        let out = ch.tx.send(sh.fabric, at, &bytes);
+        let staged = ch.tx.staged_len() > 0;
+        let flush_at = ch.tx.next_flush_at();
+        for (_seq, arrival) in out.issued {
+            sh.events.push(arrival + self.cfg.poll_pickup, (self.gid, Ev::Poll { lane, from, to }));
+        }
+        if staged {
+            if let Some(t) = flush_at {
+                let t = if t > at { t } else { at + Duration::from_nanos(1) };
+                sh.events.push(t, (self.gid, Ev::Flush { lane, from, to }));
+            }
+        }
+    }
+
+    fn on_flush(&mut self, sh: &mut Shared<'_>, lane: Lane, from: usize, to: usize, at: Time) {
+        let Some(ch) = self.channels.get_mut(&(lane, from, to)) else {
+            return;
+        };
+        let out = ch.tx.flush(sh.fabric, at);
+        let staged = ch.tx.staged_len() > 0;
+        let flush_at = ch.tx.next_flush_at();
+        for (_seq, arrival) in out.issued {
+            sh.events.push(arrival + self.cfg.poll_pickup, (self.gid, Ev::Poll { lane, from, to }));
+        }
+        if staged {
+            if let Some(t) = flush_at {
+                let t = if t > at { t } else { at + Duration::from_nanos(1) };
+                sh.events.push(t, (self.gid, Ev::Flush { lane, from, to }));
+            }
+        }
+    }
+
+    fn on_poll(&mut self, sh: &mut Shared<'_>, lane: Lane, from: usize, to: usize, at: Time) {
+        let Some(ch) = self.channels.get_mut(&(lane, from, to)) else {
+            return;
+        };
+        let out = ch.rx.poll(sh.fabric, at);
+        if out.repoll {
+            sh.events.push(at + Duration::from_nanos(200), (self.gid, Ev::Poll { lane, from, to }));
+        }
+        for (_seq, payload) in out.delivered {
+            self.dispatch_message(sh, lane, from, to, payload, at);
+        }
+    }
+
+    fn dispatch_message(
+        &mut self,
+        sh: &mut Shared<'_>,
+        lane: Lane,
+        from: usize,
+        to: usize,
+        payload: Vec<u8>,
+        at: Time,
+    ) {
+        match lane {
+            Lane::CtbTb { stream } => match TbFrame::from_bytes(&payload) {
+                Ok(TbFrame::Data(wire)) => {
+                    let fx = self.nodes[to].ctb_rx[stream][from].on_wire(wire);
+                    self.handle_tb_effects(sh, to, lane, at, fx);
+                }
+                Ok(TbFrame::Ack(ack)) => {
+                    self.nodes[to].ctb_tx[stream].on_ack(ReplicaId(from as u32), ack.upto);
+                }
+                Err(_) => {}
+            },
+            Lane::ConsTb => match TbFrame::from_bytes(&payload) {
+                Ok(TbFrame::Data(wire)) => {
+                    let fx = self.nodes[to].cons_rx[from].on_wire(wire);
+                    self.handle_tb_effects(sh, to, lane, at, fx);
+                }
+                Ok(TbFrame::Ack(ack)) => {
+                    self.nodes[to].cons_tx.on_ack(ReplicaId(from as u32), ack.upto);
+                }
+                Err(_) => {}
+            },
+            Lane::Direct => {
+                if let Ok(msg) = DirectMsg::from_bytes(&payload) {
+                    // A censoring leader pretends it never saw the request:
+                    // it drops follower echoes (and client requests below)
+                    // but participates in everything else.
+                    if matches!(msg, DirectMsg::Echo { .. })
+                        && self.byz_mode(to, at) == Some(ByzantineMode::CensorRequests)
+                    {
+                        return;
+                    }
+                    let f = ReplicaId(from as u32);
+                    self.engine_call(sh, to, at, |e| e.on_direct(f, msg));
+                }
+            }
+            Lane::ClientReq => {
+                if let Ok(req) = Request::from_bytes(&payload) {
+                    self.counters.rpc_msgs += 1;
+                    if self.byz_mode(to, at) == Some(ByzantineMode::CensorRequests) {
+                        return;
+                    }
+                    self.engine_call(sh, to, at, |e| e.on_client_request(req));
+                }
+            }
+            Lane::ClientResp => {
+                if let Ok(reply) = Reply::from_bytes(&payload) {
+                    let c = to - self.n();
+                    let fx = self.clients[c].on_reply(reply);
+                    for e in fx {
+                        if let ClientEffect::Complete { .. } = e {
+                            self.on_client_complete(sh, c, at);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Clients
+    // ------------------------------------------------------------------
+
+    /// One TBcast retransmission tick: every broadcaster this replica owns
+    /// resends its stale unacknowledged tail (§4.2), then the tick re-arms.
+    fn on_retransmit_tick(&mut self, sh: &mut Shared<'_>, r: usize, at: Time) {
+        if !self.nodes[r].crashed {
+            for s in 0..self.n() {
+                let fx = self.nodes[r].ctb_tx[s].retransmit_stale();
+                self.handle_tb_effects(sh, r, Lane::CtbTb { stream: s }, at, fx);
+            }
+            let fx = self.nodes[r].cons_tx.retransmit_stale();
+            self.handle_tb_effects(sh, r, Lane::ConsTb, at, fx);
+        }
+        self.push(sh, at + self.cfg.retransmit_period, Ev::Retransmit { r });
+    }
+
+    fn on_client_issue(&mut self, sh: &mut Shared<'_>, c: usize, at: Time) {
+        if !self.clients[c].is_idle() {
+            return;
+        }
+        let seq = sh.ctl.completed;
+        let Some(payload) = (self.workload)(seq) else {
+            // Nothing routed to this group yet; poll the source again with
+            // exponential backoff (5 µs doubling to a ~1.3 ms ceiling) so
+            // a starved shard's idle clients cannot flood the event queue
+            // over a long run.
+            let shift = self.idle_backoff[c].min(8);
+            self.idle_backoff[c] = self.idle_backoff[c].saturating_add(1);
+            self.push(sh, at + workload_retry() * (1u64 << shift), Ev::ClientIssue { c });
+            return;
+        };
+        self.idle_backoff[c] = 0;
+        let (_id, fx) = self.clients[c].issue(payload);
+        self.issue_times[c] = at;
+        for e in fx {
+            if let ClientEffect::SendRequest { to, req } = e {
+                self.counters.rpc_msgs += 1;
+                self.channel_send(
+                    sh,
+                    Lane::ClientReq,
+                    self.client_node(c),
+                    to.0 as usize,
+                    req.to_bytes(),
+                    at,
+                );
+            }
+        }
+    }
+
+    fn on_client_complete(&mut self, sh: &mut Shared<'_>, c: usize, at: Time) {
+        sh.ctl.completed += 1;
+        self.completed += 1;
+        if sh.ctl.completed > sh.ctl.warmup {
+            self.latency.record(at.since(self.issue_times[c]));
+        }
+        if sh.ctl.completed < sh.ctl.target {
+            self.push(sh, at, Ev::ClientIssue { c });
+        }
+    }
+
+    /// Dispatches one event popped from the shared queue.
+    pub(crate) fn handle(&mut self, sh: &mut Shared<'_>, ev: Ev, t: Time) {
+        match ev {
+            Ev::Poll { lane, from, to } => self.on_poll(sh, lane, from, to, t),
+            Ev::Flush { lane, from, to } => self.on_flush(sh, lane, from, to, t),
+            Ev::Timer { r, kind } => {
+                self.engine_call(sh, r, t, |e| e.on_timer(kind));
+            }
+            Ev::CtbSlow { r, k } => {
+                self.ctb_call(sh, r, r, t, |c| c.on_slow_timeout(k));
+            }
+            Ev::CtbSignDone { r, k, sig } => {
+                self.ctb_call(sh, r, r, t, |c| c.on_sign_done(k, sig));
+            }
+            Ev::CtbVerifyDone { r, stream, tag, ok } => {
+                self.ctb_call(sh, r, stream, t, |c| c.on_verify_done(tag, ok));
+            }
+            Ev::CtbWritten { r, stream, k } => {
+                self.ctb_call(sh, r, stream, t, |c| c.on_register_written(k));
+            }
+            Ev::CtbReadDone { r, stream, k, entries } => {
+                self.ctb_call(sh, r, stream, t, |c| c.on_registers_read(k, entries));
+            }
+            Ev::ClientIssue { c } => self.on_client_issue(sh, c, t),
+            Ev::Retransmit { r } => self.on_retransmit_tick(sh, r, t),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The shared deployment driver
+// ----------------------------------------------------------------------
+
+/// A whole deployment: one shared fabric, one shared (group-tagged) event
+/// queue, one global run control, and `G ≥ 1` consensus groups.
+///
+/// Host-ID layout: group `g` occupies the contiguous block
+/// `[g·(n + n_clients), (g+1)·(n + n_clients))` — replicas first, then
+/// clients — and the `2f_m + 1` shared memory nodes occupy the final
+/// `n_mem` ids. With `G = 1` this is exactly the pre-sharding `Cluster`
+/// layout, which is what makes the single-group facade bit-for-bit
+/// compatible.
+pub(crate) struct Deployment {
+    pub now: Time,
+    pub fabric: Fabric,
+    pub events: EventQueue<GroupEv>,
+    pub ctl: RunCtl,
+    pub groups: Vec<GroupRuntime>,
+}
+
+impl Deployment {
+    /// Builds `shards` groups over one fabric. `make_apps(g)` yields group
+    /// `g`'s `n` application instances; `make_workload(g)` yields its
+    /// request source.
+    pub(crate) fn build(
+        base: &SimConfig,
+        mut make_apps: impl FnMut(usize) -> Vec<Box<dyn App>>,
+        mut make_workload: impl FnMut(usize) -> GroupWorkload,
+    ) -> Self {
+        let shards = base.shards.max(1);
+        let n = base.params.n();
+        let n_clients = base.n_clients.max(1);
+        let n_mem = base.params.n_mem();
+        let block = n + n_clients;
+        let n_hosts = shards * block + n_mem;
+
+        // Per-group configurations: group-local seed and fault plan.
+        let cfgs: Vec<SimConfig> = (0..shards)
+            .map(|g| {
+                let mut cfg = base.clone();
+                cfg.seed = group_seed(base.seed, g);
+                // The group's own plan; `shards` keeps the deployment-wide
+                // count (the facades read it for stall deadlines), while
+                // the per-shard extras are folded into `failures`.
+                cfg.failures = base.shard_plan(g);
+                cfg.shard_failures = Vec::new();
+                cfg
+            })
+            .collect();
+
+        let rng = SimRng::new(base.seed);
+        let mut net = NetworkModel::synchronous(base.latency.clone(), n_hosts)
+            .with_gst(base.failures.gst, base.failures.pre_gst_extra);
+        // Apply crash schedules, mapped into the global host space.
+        for (g, cfg) in cfgs.iter().enumerate() {
+            let host_base = (g * block) as u32;
+            for i in 0..n {
+                if let Some(t) = cfg.failures.replica_crash_time(i) {
+                    net.crash_host(HostId(host_base + i as u32), t);
+                }
+            }
+        }
+        // Memory nodes are shared; a crash scheduled by any group's plan
+        // takes the earliest scheduled time.
+        for i in 0..n_mem {
+            if let Some(t) = cfgs.iter().filter_map(|c| c.failures.mem_node_crash_time(i)).min() {
+                net.crash_host(HostId((shards * block + i) as u32), t);
+            }
+        }
+        for (g, cfg) in cfgs.iter().enumerate() {
+            let host_base = (g * block) as u32;
+            for (a, b, from, until) in cfg.failures.partitions() {
+                // Partition endpoints are replica indices by contract
+                // (`FailurePlan::partition`). In a multi-shard deployment
+                // an index beyond the group's host block would silently
+                // land inside the *next* group's block, so reject it
+                // loudly; single-group deployments keep the historical
+                // raw-host-id behavior.
+                assert!(
+                    shards == 1 || (a < block && b < block),
+                    "shard {g}: partition endpoints ({a}, {b}) must be group-local (< {block})"
+                );
+                net.add_partition(
+                    HostId(host_base + a as u32),
+                    HostId(host_base + b as u32),
+                    from,
+                    until,
+                );
+            }
+        }
+        let mut fabric = Fabric::new(net, rng.fork(1));
+        let mut events = EventQueue::new();
+        let mut ctl = RunCtl::default();
+        let mem_hosts: Vec<HostId> =
+            (0..n_mem).map(|i| HostId((shards * block + i) as u32)).collect();
+
+        let mut groups = Vec::with_capacity(shards);
+        for (g, cfg) in cfgs.into_iter().enumerate() {
+            let mut sh = Shared { fabric: &mut fabric, events: &mut events, ctl: &mut ctl };
+            groups.push(GroupRuntime::new(
+                g as u32,
+                cfg,
+                (g * block) as u32,
+                &mem_hosts,
+                make_apps(g),
+                make_workload(g),
+                &mut sh,
+            ));
+        }
+
+        Deployment { now: Time::ZERO, fabric, events, ctl, groups }
+    }
+
+    /// Drives the closed loop until `requests + warmup` total completions
+    /// or virtual time passes `deadline`.
+    pub(crate) fn run_loop(&mut self, requests: u64, warmup: u64, deadline: Time) {
+        self.ctl.target = requests + warmup;
+        self.ctl.warmup = warmup;
+        for g in 0..self.groups.len() {
+            for c in 0..self.groups[g].n_clients() {
+                self.events.push(
+                    Time::ZERO + Duration::from_micros(1 + c as u64),
+                    (g as u32, Ev::ClientIssue { c }),
+                );
+            }
+        }
+        let max_events = 200_000_000u64;
+        while let Some((t, (gid, ev))) = self.events.pop() {
+            self.now = t;
+            if self.ctl.completed >= self.ctl.target || t > deadline {
+                break;
+            }
+            assert!(self.events.total_pushed() < max_events, "simulation diverged (event flood)");
+            let Deployment { fabric, events, ctl, groups, .. } = self;
+            // Apply the handling group's scheduled crashes; other groups'
+            // crash flags are only read while handling their own events,
+            // so they catch up then.
+            let group = &mut groups[gid as usize];
+            group.apply_scheduled_crashes(t);
+            let mut sh = Shared { fabric, events, ctl };
+            group.handle(&mut sh, ev, t);
+        }
+    }
+
+    /// One group's report: its own latency distribution (cloned), its
+    /// counters, completions, and views, stamped with the global end time.
+    pub(crate) fn shard_report(&self, g: usize) -> RunReport {
+        let gr = &self.groups[g];
+        RunReport {
+            latency: gr.latency.clone(),
+            counters: gr.counters,
+            completed: gr.completed,
+            end: self.now,
+            views: gr.views(),
+        }
+    }
+
+    /// The merged whole-deployment report; takes each group's latency
+    /// samples (call [`Deployment::shard_report`] first if per-shard
+    /// distributions are wanted).
+    pub(crate) fn aggregate_report(&mut self) -> RunReport {
+        let mut latency = LatencyStats::new();
+        let mut counters = OpCounters::default();
+        let mut views = Vec::new();
+        for gr in &mut self.groups {
+            latency.absorb(std::mem::take(&mut gr.latency));
+            counters.merge(&gr.counters);
+            views.extend(gr.views());
+        }
+        RunReport { latency, counters, completed: self.ctl.completed, end: self.now, views }
+    }
+
+    /// Per-replica diagnostics for every group.
+    pub(crate) fn diag_lines(&self) -> String {
+        if self.groups.len() == 1 {
+            return self.groups[0].diag_lines();
+        }
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(g, gr)| format!(" shard {g}:\n{}", gr.diag_lines()))
+            .collect()
+    }
+}
+
+/// Per-group seed derivation: group 0 keeps the base seed (the facade's
+/// bit-for-bit guarantee), later groups fold in a golden-ratio multiple.
+fn group_seed(base: u64, g: usize) -> u64 {
+    base ^ (g as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -2,21 +2,31 @@
 //! the simulated RDMA fabric, charges calibrated virtual-time costs, and
 //! drives closed-loop clients to produce the paper's latency distributions.
 //!
-//! * [`cluster::Cluster`] — a full uBFT deployment: `2f + 1` replica engines
-//!   with per-stream CTBcast instances, TBcast lanes over circular-buffer
-//!   channels, SWMR register banks on `2f_m + 1` memory nodes, a crypto-pool
-//!   model, timers, and closed-loop clients.
+//! * [`cluster::Cluster`] — a full single-group uBFT deployment: `2f + 1`
+//!   replica engines with per-stream CTBcast instances, TBcast lanes over
+//!   circular-buffer channels, SWMR register banks on `2f_m + 1` memory
+//!   nodes, a crypto-pool model, timers, and closed-loop clients. A thin
+//!   facade over the private `node` (per-replica state) and `group` (event
+//!   loop and lanes) modules.
+//! * [`sharded::ShardedCluster`] — `G` such groups sharing one fabric,
+//!   one event queue, and one set of memory nodes, with requests routed
+//!   per key by [`ubft_apps::ShardRouter`].
 //! * [`baselines`] — the comparison systems measured the same way:
 //!   unreplicated execution, Mu, and MinBFT (vanilla + HMAC).
 //! * [`calibration`] — every latency/cost constant in one place (simulated
-//!   Table 1).
+//!   Table 1), plus the shard/batch knobs.
 //! * [`memory`] — replica-local and disaggregated memory accounting
-//!   (Table 2).
+//!   (Table 2), with per-shard breakdowns.
 
 pub mod baselines;
 pub mod calibration;
 pub mod cluster;
 pub mod memory;
+pub mod sharded;
+
+mod group;
+mod node;
 
 pub use calibration::SimConfig;
 pub use cluster::{Cluster, OpCounters, RunReport};
+pub use sharded::{ShardReport, ShardedCluster};

@@ -1,15 +1,21 @@
-//! Memory accounting for Table 2.
+//! Memory accounting for Table 2, now shard-aware.
 
 use crate::cluster::Cluster;
+use crate::sharded::ShardedCluster;
 
 /// A Table 2 row: memory consumption for one configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MemoryReport {
     /// Replica-local resident bytes (channel buffers, mirrors, staging, TB
-    /// retransmission buffers, CTBcast bookkeeping).
+    /// retransmission buffers, CTBcast bookkeeping) of the measured leader.
     pub replica_local_bytes: usize,
-    /// Disaggregated bytes on one memory node (register banks).
+    /// Total disaggregated bytes on one memory node — for a sharded
+    /// deployment, the sum over every shard's register banks (the memory
+    /// nodes are shared; each shard owns a partition of their space).
     pub disagg_bytes_per_node: usize,
+    /// The per-shard breakdown of [`MemoryReport::disagg_bytes_per_node`].
+    /// A single-group cluster reports one entry.
+    pub disagg_bytes_per_shard: Vec<usize>,
 }
 
 impl MemoryReport {
@@ -18,6 +24,19 @@ impl MemoryReport {
         MemoryReport {
             replica_local_bytes: cluster.replica_local_bytes(0),
             disagg_bytes_per_node: cluster.disagg_bytes_per_node(),
+            disagg_bytes_per_shard: vec![cluster.disagg_bytes_per_node()],
+        }
+    }
+
+    /// Measures a sharded deployment (leader replica 0 of shard 0 for the
+    /// replica-local figure; every shard is symmetric by construction).
+    pub fn measure_sharded(cluster: &ShardedCluster) -> Self {
+        MemoryReport {
+            replica_local_bytes: cluster.replica_local_bytes(0, 0),
+            disagg_bytes_per_node: cluster.disagg_bytes_per_node(),
+            disagg_bytes_per_shard: (0..cluster.shards())
+                .map(|g| cluster.shard_disagg_bytes_per_node(g))
+                .collect(),
         }
     }
 }

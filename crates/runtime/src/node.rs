@@ -1,0 +1,61 @@
+//! Per-replica protocol state: one [`ReplicaNode`] bundles everything a
+//! single uBFT replica owns — previously inlined as parallel `Vec`s in the
+//! `Cluster` monolith.
+
+use ubft_core::app::App;
+use ubft_core::engine::Engine;
+use ubft_ctb::ctbcast::Ctb;
+use ubft_ctb::tbcast::{TailBroadcaster, TailReceiver};
+use ubft_dmem::register::RegisterWriter;
+use ubft_types::Time;
+
+/// One replica's complete protocol stack.
+///
+/// A replica owns its consensus engine, its replicated application
+/// instance, one CTBcast instance per stream (its own stream as
+/// broadcaster, every peer's as receiver), the TBcast endpoints those
+/// streams and the consensus lane ride on, the SWMR register writers for
+/// its own slots of every stream's bank, and its two virtual-time cost
+/// cursors (main event-loop core and background crypto worker, §5.4).
+pub(crate) struct ReplicaNode {
+    /// The consensus state machine (Algorithms 2–5).
+    pub engine: Engine,
+    /// The replicated application.
+    pub app: Box<dyn App>,
+    /// CTBcast instances, one per stream: `ctbs[s]` handles stream `s`.
+    pub ctbs: Vec<Ctb>,
+    /// TBcast broadcasters for this replica's side of each CTBcast stream.
+    pub ctb_tx: Vec<TailBroadcaster>,
+    /// TBcast receivers: `ctb_rx[stream][sender]`.
+    pub ctb_rx: Vec<Vec<TailReceiver>>,
+    /// Broadcaster for the consensus-level TBcast lane.
+    pub cons_tx: TailBroadcaster,
+    /// Consensus-lane receivers, one per sender.
+    pub cons_rx: Vec<TailReceiver>,
+    /// SWMR register writers this replica owns: `reg_writers[stream]` is
+    /// the writer for this replica's slots in `stream`'s bank.
+    pub reg_writers: Vec<RegisterWriter>,
+    /// Main-core busy-until cursor (event-loop dispatch serializes here).
+    pub busy: Time,
+    /// Crypto-worker busy-until cursor: engine signatures/verifications
+    /// serialize here instead of on the main cursor (the paper's
+    /// background crypto pool, §5.4).
+    pub crypto_busy: Time,
+    /// Whether a scheduled crash has taken effect.
+    pub crashed: bool,
+}
+
+impl ReplicaNode {
+    /// Resident bytes of this node's CTBcast bookkeeping and TB
+    /// retransmission buffers (the channel buffers are accounted by the
+    /// group, which owns the channel map).
+    pub fn protocol_resident_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for (ctb, tx) in self.ctbs.iter().zip(&self.ctb_tx) {
+            total += ctb.resident_bytes();
+            total += tx.buffered_bytes();
+        }
+        total += self.cons_tx.buffered_bytes();
+        total
+    }
+}

@@ -118,6 +118,15 @@ impl FailurePlan {
         self
     }
 
+    /// Adds an already-constructed fault — the escape hatch that lets plans
+    /// be merged (the sharded runtime folds per-shard plans into one
+    /// group-local schedule this way).
+    #[must_use]
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
     /// All scheduled partitions as `(a, b, from, until)` tuples.
     pub fn partitions(&self) -> impl Iterator<Item = (usize, usize, Time, Time)> + '_ {
         self.faults.iter().filter_map(|f| match f {

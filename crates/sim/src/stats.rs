@@ -35,6 +35,17 @@ impl LatencyStats {
         self.sorted = false;
     }
 
+    /// Appends every sample of `other` (in its recording order), consuming
+    /// it. Used to merge per-shard distributions into an aggregate.
+    pub fn absorb(&mut self, other: LatencyStats) {
+        if self.samples.is_empty() {
+            *self = other;
+            return;
+        }
+        self.samples.extend(other.samples);
+        self.sorted = false;
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()

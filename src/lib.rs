@@ -79,6 +79,53 @@
 //! assert!(cluster.decided_of(0) >= 88);
 //! ```
 //!
+//! # Sharding: many groups, one memory pool
+//!
+//! uBFT keeps each consensus group small (`2f + 1` replicas, bounded
+//! memory) precisely so many groups can share one pool of disaggregated
+//! memory. [`runtime::ShardedCluster`] deploys
+//! [`runtime::SimConfig::with_shards`] independent groups over one
+//! fabric and one set of passive memory nodes, routing every request by
+//! key hash through [`apps::ShardRouter`] (FNV over the KV key;
+//! round-robin for keyless payloads). Aggregate throughput scales nearly
+//! linearly with the group count while per-request latency stays flat —
+//! see the `shard_sweep` table in `EXPERIMENTS.md`.
+//!
+//! ```
+//! use ubft::runtime::{ShardedCluster, SimConfig};
+//! use ubft_apps::FlipApp;
+//! use ubft_core::app::App;
+//!
+//! // Two consensus groups on one fabric; keyless Flip requests
+//! // round-robin across them.
+//! let cfg = SimConfig::paper_default(3).fast_only().with_shards(2);
+//! let mut sharded = ShardedCluster::new(
+//!     cfg,
+//!     |_group| (0..3).map(|_| Box::new(FlipApp::new()) as Box<dyn App>).collect(),
+//!     Box::new(|i: u64| i.to_le_bytes().to_vec()),
+//! );
+//! let report = sharded.run(60, 6);
+//! assert_eq!(report.aggregate.completed, 66);
+//! assert_eq!(report.shards.len(), 2);
+//! // Both groups served a slice of the key space.
+//! assert!(report.shards.iter().all(|s| s.completed > 0));
+//! ```
+//!
+//! With a single shard, `ShardedCluster` reproduces [`runtime::Cluster`]
+//! bit-for-bit — same seeds, same host layout, same event order — for
+//! workloads that derive requests from internal state, like every stock
+//! §7.1 generator. (The one observable difference: `ShardedCluster`
+//! passes the global generation index as the workload's `u64` argument,
+//! while `Cluster` passes the completed count, so a workload that is a
+//! pure function of that argument sees different values when several
+//! clients race.) The equivalence is pinned by `tests/sharding.rs`,
+//! which also proves fault *containment*: a crash or Byzantine fault
+//! injected into one shard (via
+//! [`runtime::SimConfig::with_shard_failures`]) leaves every other
+//! shard's report untouched.
+//!
+//! # Failure injection
+//!
 //! Inject failures — crashes, partitions, asynchrony, or Byzantine
 //! behaviour — through [`sim::failure::FailurePlan`] on the same config;
 //! see `tests/byzantine.rs` for the full fault-injection suite and
