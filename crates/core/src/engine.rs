@@ -14,7 +14,7 @@ use ubft_types::{ClusterParams, ProcessId, ReplicaId, RequestId, SeqId, Slot, Vi
 
 use crate::msg::{
     summary_sign_bytes, vc_sign_bytes, Batch, CheckpointCert, CheckpointData, CommitCert, CtbMsg,
-    DirectMsg, Prepare, Request, StateSummary, TbMsg, VcCert,
+    DirectMsg, JoinStream, Prepare, Request, StateSummary, TbMsg, VcCert,
 };
 
 /// Which replication path(s) the engine runs.
@@ -140,6 +140,25 @@ pub enum Effect {
     CheckpointAdopted {
         /// New first open slot.
         base: Slot,
+    },
+    /// The engine adopted a certified checkpoint it cannot reach by local
+    /// execution (a replacement node, or a replica that missed a whole
+    /// window): the runtime must restore the application to the certified
+    /// state at `base` — verified against `app_digest`, so the serving
+    /// peer is not trusted — before executing any later effects.
+    StateTransfer {
+        /// First slot *not* covered by the transferred state.
+        base: Slot,
+        /// Certified digest the restored state must match.
+        app_digest: Digest,
+    },
+    /// A completed join adopted stream positions: the runtime must move its
+    /// CTBcast instances to these cursors (the own-stream entry sets the
+    /// broadcaster's next id; peer entries set receiver delivery floors) so
+    /// transport-level state agrees with the engine's FIFO adoption.
+    AdoptStreams {
+        /// `(stream, next_id)` per stream, in no particular order.
+        tails: Vec<(ReplicaId, SeqId)>,
     },
     /// The replica moved to a new view (informational).
     ViewChanged {
@@ -277,6 +296,11 @@ pub struct EngineDiag {
     pub ctb_queued: usize,
     /// Peers branded Byzantine.
     pub byzantine: usize,
+    /// Proven CTBcast equivocations: `(stream, sequence id)` of the first
+    /// conflicting broadcast per branded stream.
+    pub equivocations: Vec<(ReplicaId, SeqId)>,
+    /// Whether the engine is a replacement node still completing its join.
+    pub joining: bool,
 }
 
 impl std::fmt::Display for EngineDiag {
@@ -300,8 +324,31 @@ impl std::fmt::Display for EngineDiag {
             self.summary_done,
             self.ctb_queued,
             self.byzantine,
-        )
+        )?;
+        for (stream, k) in &self.equivocations {
+            write!(f, " equiv=r{}@k{}", stream.0, k.0)?;
+        }
+        if self.joining {
+            write!(f, " joining")?;
+        }
+        Ok(())
     }
+}
+
+/// One peer's [`DirectMsg::JoinAck`], parked until `f + 1` acks arrive.
+#[derive(Clone, Debug)]
+struct JoinAckData {
+    view: View,
+    streams: Vec<JoinStream>,
+    commits: Vec<(Slot, CommitCert)>,
+}
+
+/// A replacement node's in-progress join: the register-bank floor it
+/// recovered for its own stream, and the acks collected so far.
+#[derive(Clone, Debug)]
+struct JoinState {
+    reg_floor: SeqId,
+    acks: BTreeMap<ReplicaId, JoinAckData>,
 }
 
 /// The uBFT replica state machine.
@@ -367,12 +414,23 @@ pub struct Engine {
     verified_certs: HashSet<Digest>,
     /// Checkpoint certification shares keyed by (base, app digest).
     cp_shares: BTreeMap<(Slot, Digest), Certificate>,
+    /// Checkpoint *data* already proven: assembling our own certificate
+    /// from individually verified shares, or verifying any peer's
+    /// certificate, proves `(base, app_digest)` once and for all — a
+    /// different certificate over the same data adds nothing, so checkpoint
+    /// boundaries stop costing every replica two redundant certificate
+    /// verifications (the crypto burst that stretched checkpoint gaps).
+    verified_cp_data: HashSet<(Slot, Digest)>,
     /// Decide counter for the progress watchdog.
     decide_count: u64,
     armed_marker: u64,
     /// Consecutive fruitless view changes (PBFT-style timeout backoff);
     /// reset on every decide.
     vc_streak: u32,
+    /// Replacement-node join in progress ([`Engine::begin_join`]).
+    join: Option<JoinState>,
+    /// Proven CTBcast equivocations, one per branded stream.
+    equivocations: Vec<(ReplicaId, SeqId)>,
     ops: CryptoOps,
 }
 
@@ -416,9 +474,12 @@ impl Engine {
             new_view_broadcast: None,
             verified_certs: HashSet::new(),
             cp_shares: BTreeMap::new(),
+            verified_cp_data: HashSet::new(),
             decide_count: 0,
             armed_marker: 0,
             vc_streak: 0,
+            join: None,
+            equivocations: Vec::new(),
             ops: CryptoOps::default(),
         }
     }
@@ -486,6 +547,8 @@ impl Engine {
             summary_done: self.summary_done_upto,
             ctb_queued: self.queued_ctb.len(),
             byzantine: self.byzantine.len(),
+            equivocations: self.equivocations.clone(),
+            joining: self.join.is_some(),
         }
     }
 
@@ -548,6 +611,13 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn ctb_gate_open(&self) -> bool {
+        // A joining replacement must not broadcast before it has adopted
+        // its own stream's cursor: an id below what peers already
+        // interpreted would be dropped as a duplicate forever. Everything
+        // queues until the join completes and flushes.
+        if self.join.is_some() {
+            return false;
+        }
         // May run at most `t` messages past the last summarized boundary —
         // the CTBcast tail is the hard budget. With summaries triggered
         // every `t/2` (the default), the next summary is already being
@@ -665,7 +735,7 @@ impl Engine {
     }
 
     fn propose_ready(&mut self, fx: &mut Vec<Effect>) {
-        if !self.is_leader() || self.sealing.is_some() {
+        if !self.is_leader() || self.sealing.is_some() || self.join.is_some() {
             return;
         }
         // Algorithm 2 line 15: in views > 0 the leader may propose only
@@ -737,9 +807,15 @@ impl Engine {
         fx
     }
 
-    /// CTBcast reported proof of equivocation on `stream`.
-    pub fn on_ctb_equivocation(&mut self, stream: ReplicaId, _k: SeqId) -> Vec<Effect> {
-        self.brand_byzantine(stream, "ctbcast equivocation".into())
+    /// CTBcast reported proof of equivocation on `stream` at sequence `k`.
+    pub fn on_ctb_equivocation(&mut self, stream: ReplicaId, k: SeqId) -> Vec<Effect> {
+        if stream != self.me && !self.byzantine.contains(&stream) {
+            // The first proven conflict per stream is the evidence an
+            // operator wants; later ones add nothing (the stream is
+            // already blocked).
+            self.equivocations.push((stream, k));
+        }
+        self.brand_byzantine(stream, format!("ctbcast equivocation at k={}", k.0))
     }
 
     fn brand_byzantine(&mut self, who: ReplicaId, reason: String) -> Vec<Effect> {
@@ -866,9 +942,13 @@ impl Engine {
                 if !c.supersedes(&ps.checkpoint) {
                     return Err("stale checkpoint".into());
                 }
-                if !self.verify_cert(&c.cert.clone(), &c.data.sign_bytes(), self.quorum()) {
+                let proven = self.verified_cp_data.contains(&(c.data.base, c.data.app_digest));
+                if !proven
+                    && !self.verify_cert(&c.cert.clone(), &c.data.sign_bytes(), self.quorum())
+                {
                     return Err("checkpoint with invalid certificate".into());
                 }
+                self.verified_cp_data.insert((c.data.base, c.data.app_digest));
                 Ok(())
             }
             CtbMsg::SealView { view } => {
@@ -919,7 +999,7 @@ impl Engine {
     fn handle_prepare(&mut self, stream: ReplicaId, prep: Prepare, fx: &mut Vec<Effect>) {
         let ps = self.state.get_mut(&stream).expect("known");
         ps.prepares.insert(prep.slot, prep.clone());
-        if prep.view != self.view || !self.in_my_window(prep.slot) {
+        if prep.view != self.view || !self.in_accept_window(prep.slot) {
             return;
         }
         // §5.4: endorse only requests received directly from the client
@@ -1018,7 +1098,7 @@ impl Engine {
         }
         match msg {
             TbMsg::WillCertify { view, slot } => {
-                if view != self.view || !self.in_my_window(slot) {
+                if view != self.view || !self.in_accept_window(slot) {
                     return fx;
                 }
                 let n = self.n();
@@ -1031,7 +1111,7 @@ impl Engine {
                 }
             }
             TbMsg::WillCommit { view, slot } => {
-                if view != self.view || !self.in_my_window(slot) {
+                if view != self.view || !self.in_accept_window(slot) {
                     return fx;
                 }
                 let entry = self.slots.entry(slot).or_default();
@@ -1068,7 +1148,7 @@ impl Engine {
     ) -> Vec<Effect> {
         let mut fx = Vec::new();
         let slot = prepare.slot;
-        if prepare.view != self.view || !self.in_my_window(slot) {
+        if prepare.view != self.view || !self.in_accept_window(slot) {
             return fx;
         }
         // Only collect shares matching our accepted prepare.
@@ -1135,7 +1215,7 @@ impl Engine {
             let ps = self.state.get_mut(&stream).expect("known");
             ps.commits.insert(slot, c.clone());
         }
-        if c.prepare.view != self.view || !self.in_my_window(slot) {
+        if c.prepare.view != self.view || !self.in_accept_window(slot) {
             return;
         }
         // Count COMMITs whose prepare matches; f+1 of them decide the slot
@@ -1200,9 +1280,21 @@ impl Engine {
         }
     }
 
-    fn in_my_window(&self, slot: Slot) -> bool {
+    /// The *acceptance* window: one full window beyond the open one.
+    ///
+    /// A leader proposes into the window its own (already certified)
+    /// checkpoint opens, so right after a checkpoint its proposals for the
+    /// new window race every peer's adoption of that checkpoint. A peer
+    /// whose adoption lags — most visibly a replacement node paying
+    /// certificate-verification time — would drop those proposals and the
+    /// WILL rounds for them with no way to recover until the *next*
+    /// checkpoint. Accepting consensus messages up to `2 × window` ahead
+    /// of the local base closes the race for any lag under a full window
+    /// while keeping per-slot state bounded (at most two windows of open
+    /// slots). Proposing remains confined to the open window.
+    fn in_accept_window(&self, slot: Slot) -> bool {
         let base = self.checkpoint.data.base;
-        slot >= base && slot < Slot(base.0 + self.window() as u64)
+        slot >= base && slot < Slot(base.0 + 2 * self.window() as u64)
     }
 
     // ------------------------------------------------------------------
@@ -1244,6 +1336,7 @@ impl Engine {
         if entry.count() >= quorum {
             let cert = entry.clone();
             self.note_own_cert(&cert, &data.sign_bytes());
+            self.verified_cp_data.insert((data.base, data.app_digest));
             let cp = CheckpointCert { data, cert };
             // adopt_checkpoint announces the adoption on our stream before
             // any proposal into the freshly opened window.
@@ -1279,11 +1372,17 @@ impl Engine {
         // Forget decided state below the checkpoint (finite memory!).
         self.slots.retain(|s, _| *s >= base);
         self.cp_shares.retain(|(b, _), _| *b > base);
+        self.verified_cp_data.retain(|(b, _)| *b >= base);
         // Drop request bookkeeping for requests decided below the base.
         if self.exec_next < base {
-            // We lag behind the checkpoint: state transfer is out of scope
-            // (unimplemented in the paper's prototype too); fast-forward.
+            // We missed decided slots below the certified base (a
+            // replacement node, or a replica that lost a whole window):
+            // local replay cannot reach this state, so ask the runtime for
+            // a snapshot transfer — verified against the certified digest,
+            // so the serving peer is not trusted — then resume from `base`.
+            fx.push(Effect::StateTransfer { base, app_digest: c.data.app_digest });
             self.exec_next = base;
+            self.snapshot_pending = None;
         }
         if self.next_slot < base {
             self.next_slot = base;
@@ -1376,12 +1475,247 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Replacement & join (uBFT extended version, §replacement)
+    // ------------------------------------------------------------------
+
+    /// Most decided slots a [`DirectMsg::JoinAck`] replays; older gaps are
+    /// healed by the next checkpoint's state transfer, exactly like
+    /// [`StateSummary`]'s bounded commit list heals CTBcast gaps.
+    const JOIN_COMMIT_CAP: usize = 4;
+
+    /// Starts this engine's life as a *replacement node*: a fresh process
+    /// taking over a crashed replica's identity. Call instead of
+    /// [`Engine::start`]. `reg_floor` is the highest own-stream CTBcast id
+    /// the runtime recovered from the SWMR register bank on the memory
+    /// nodes (the slow-path high-water mark; [`SeqId`]`(0)` if the bank is
+    /// empty). The engine announces itself to every peer and completes the
+    /// join once `f + 1` [`DirectMsg::JoinAck`]s arrived — no single
+    /// replica is trusted: adopted checkpoints and replayed decisions are
+    /// verified against their own `f + 1` certificates, and the remaining
+    /// fields only steer liveness, which CTBcast summaries repair anyway.
+    pub fn begin_join(&mut self, reg_floor: SeqId) -> Vec<Effect> {
+        assert!(self.join.is_none(), "join already in progress");
+        self.join = Some(JoinState { reg_floor, acks: BTreeMap::new() });
+        self.armed_marker = self.decide_count;
+        let mut fx = vec![Effect::ArmTimer { kind: TimerKind::Progress }];
+        for peer in self.cfg.params.replicas().filter(|r| *r != self.me) {
+            fx.push(Effect::SendReplica { to: peer, msg: DirectMsg::Join { reg_floor } });
+        }
+        fx
+    }
+
+    /// A replacement node announced itself: answer with our protocol
+    /// coordinates (any replica may serve; the joiner cross-checks).
+    pub fn on_join(&mut self, from: ReplicaId) -> Vec<Effect> {
+        if from == self.me || self.join.is_some() {
+            return Vec::new();
+        }
+        let streams: Vec<JoinStream> = self
+            .state
+            .iter()
+            .map(|(stream, ps)| JoinStream {
+                stream: *stream,
+                // For our own stream, report the next id we will *send*
+                // (self-delivery may lag emission by a queued message).
+                fifo_next: if *stream == self.me {
+                    SeqId(self.my_ctb_sent + 1)
+                } else {
+                    ps.fifo_next
+                },
+                view: if *stream == self.me { self.view } else { ps.view },
+                checkpoint: if ps.checkpoint.data.base > Slot(0) {
+                    Some(ps.checkpoint.clone())
+                } else {
+                    None
+                },
+            })
+            .collect();
+        // Most recent decided slots at or above our stable base, with the
+        // certificate that proves each decision (highest view wins per
+        // slot, mirroring `must_propose`).
+        let mut merged: BTreeMap<Slot, CommitCert> = BTreeMap::new();
+        for ps in self.state.values() {
+            for (slot, c) in &ps.commits {
+                if *slot < self.checkpoint.data.base {
+                    continue;
+                }
+                let replace =
+                    merged.get(slot).is_none_or(|existing| c.prepare.view > existing.prepare.view);
+                if replace {
+                    merged.insert(*slot, c.clone());
+                }
+            }
+        }
+        let skip = merged.len().saturating_sub(Self::JOIN_COMMIT_CAP);
+        let commits: Vec<(Slot, CommitCert)> = merged.into_iter().skip(skip).collect();
+        vec![Effect::SendReplica {
+            to: from,
+            msg: DirectMsg::JoinAck { view: self.view, streams, commits },
+        }]
+    }
+
+    /// A peer answered our [`DirectMsg::Join`].
+    pub fn on_join_ack(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        streams: Vec<JoinStream>,
+        commits: Vec<(Slot, CommitCert)>,
+    ) -> Vec<Effect> {
+        let Some(join) = self.join.as_mut() else {
+            return Vec::new();
+        };
+        if from == self.me {
+            return Vec::new();
+        }
+        join.acks.insert(from, JoinAckData { view, streams, commits });
+        if join.acks.len() >= self.cfg.params.quorum() {
+            self.complete_join()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// `f + 1` acks arrived: adopt the group's coordinates and go live.
+    fn complete_join(&mut self) -> Vec<Effect> {
+        let join = self.join.take().expect("join in progress");
+        let mut fx = Vec::new();
+
+        // Liveness fields: per-field maximum over the acks. A lie can only
+        // delay us (summaries fill FIFO gaps; view changes correct views);
+        // it can never decide anything — that still takes certificates.
+        let view = join.acks.values().map(|a| a.view).max().unwrap_or(View(0)).max(self.view);
+        let mut best_cp: Option<CheckpointCert> = None;
+        let mut tails: Vec<(ReplicaId, SeqId)> = Vec::new();
+        for stream in self.cfg.params.replicas().collect::<Vec<_>>() {
+            let mut fifo = SeqId(1);
+            let mut sview = View(0);
+            let mut cp: Option<CheckpointCert> = None;
+            for ack in join.acks.values() {
+                let Some(js) = ack.streams.iter().find(|s| s.stream == stream) else {
+                    continue;
+                };
+                fifo = fifo.max(js.fifo_next);
+                sview = sview.max(js.view);
+                if let Some(c) = &js.checkpoint {
+                    if cp.as_ref().is_none_or(|old| c.supersedes(old)) {
+                        cp = Some(c.clone());
+                    }
+                }
+            }
+            // Adopted stream checkpoints gate validity checks (window
+            // membership), so verify their certificates before trusting
+            // (once per distinct checkpoint data).
+            let cp = cp.filter(|c| {
+                self.verified_cp_data.contains(&(c.data.base, c.data.app_digest))
+                    || self.verify_cert(&c.cert.clone(), &c.data.sign_bytes(), self.quorum())
+            });
+            if let Some(c) = &cp {
+                self.verified_cp_data.insert((c.data.base, c.data.app_digest));
+            }
+            if stream == self.me {
+                // Our own broadcast cursor: past everything any peer
+                // interpreted AND everything the register bank witnessed.
+                fifo = fifo.max(join.reg_floor.next());
+                self.my_ctb_sent = fifo.0 - 1;
+                self.summary_done_upto = self.my_ctb_sent;
+                self.seal_emitted = view;
+                self.cp_broadcast_base =
+                    cp.as_ref().map_or(Slot(0), |c| c.data.base).max(self.cp_broadcast_base);
+            }
+            let n = self.cfg.params.n();
+            let ps = self.state.get_mut(&stream).expect("known replica");
+            ps.fifo_next = ps.fifo_next.max(fifo);
+            ps.view = ps.view.max(sview);
+            // The NEW_VIEW that installed an already-established view was
+            // broadcast before we existed and is out of the tail. Accept
+            // the established leader's proposals without it: the joiner
+            // cannot re-check Algorithm 3's re-proposal constraints, but
+            // it also cannot decide anything alone — every decision still
+            // takes a quorum of replicas that did check them.
+            if ps.view > View(0) && stream == ps.view.leader(n) && ps.new_view.is_none() {
+                ps.new_view = Some(Vec::new());
+            }
+            let floor = ps.fifo_next;
+            ps.pending.retain(|k, _| *k >= floor);
+            if let Some(c) = cp {
+                if c.supersedes(&ps.checkpoint) {
+                    ps.checkpoint = c.clone();
+                }
+                if best_cp.as_ref().is_none_or(|old| c.supersedes(old)) {
+                    best_cp = Some(c);
+                }
+            }
+            tails.push((stream, floor));
+        }
+        self.view = view;
+        self.sealing = None;
+
+        // Transport adoption must precede any broadcast the steps below
+        // may emit (the runtime moves its CTBcast cursors on this effect).
+        fx.push(Effect::AdoptStreams { tails });
+
+        // Adopt the best certified checkpoint; lagging `exec_next` makes
+        // `adopt_checkpoint` request the snapshot transfer.
+        if let Some(cp) = best_cp {
+            fx.extend(self.adopt_checkpoint(cp));
+        }
+
+        // Replay decided-but-unexecuted slots the acks prove (highest view
+        // wins per slot; each certificate is verified before the decision
+        // is honoured).
+        let mut merged: BTreeMap<Slot, CommitCert> = BTreeMap::new();
+        for ack in join.acks.values() {
+            for (slot, c) in &ack.commits {
+                let replace =
+                    merged.get(slot).is_none_or(|existing| c.prepare.view > existing.prepare.view);
+                if replace {
+                    merged.insert(*slot, c.clone());
+                }
+            }
+        }
+        for (slot, c) in merged {
+            if slot < self.checkpoint.data.base
+                || self.slots.get(&slot).is_some_and(|s| s.decided.is_some())
+            {
+                continue;
+            }
+            if !self.verify_cert(&c.cert.clone(), &c.prepare.certify_bytes(), self.quorum()) {
+                continue;
+            }
+            let entry = self.slots.entry(slot).or_default();
+            if entry.prepare.is_none() {
+                entry.prepare = Some(c.prepare.clone());
+            }
+            entry.commit_from.insert(c.prepare.view.leader(self.cfg.params.n()));
+            let batch = c.prepare.batch.clone();
+            fx.extend(self.decide(slot, batch));
+        }
+
+        // Go live: flush whatever queued during the join and interpret any
+        // stream messages that arrived ahead of the adopted positions.
+        self.flush_ctb_queue(&mut fx);
+        for stream in self.cfg.params.replicas().collect::<Vec<_>>() {
+            if stream != self.me {
+                self.drain_pending(stream, &mut fx);
+            }
+        }
+        fx
+    }
+
+    // ------------------------------------------------------------------
     // View change (Algorithm 3)
     // ------------------------------------------------------------------
 
     /// The progress watchdog fired.
     pub fn on_progress_timeout(&mut self) -> Vec<Effect> {
         let mut fx = Vec::new();
+        if self.join.is_some() {
+            // A half-initialized replacement must not seal views; its acks
+            // are in flight, and peers make progress without it.
+            fx.push(Effect::ArmTimer { kind: TimerKind::Progress });
+            return fx;
+        }
         let stuck = self.has_pending_work() && self.decide_count == self.armed_marker;
         if stuck {
             fx.extend(self.change_view());
@@ -1689,6 +2023,10 @@ impl Engine {
             }
             DirectMsg::CertifySummary { stream, upto, digest, sig } => {
                 self.on_certify_summary(from, stream, upto, digest, sig)
+            }
+            DirectMsg::Join { .. } => self.on_join(from),
+            DirectMsg::JoinAck { view, streams, commits } => {
+                self.on_join_ack(from, view, streams, commits)
             }
         }
     }

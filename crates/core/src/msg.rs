@@ -527,6 +527,42 @@ impl Wire for TbMsg {
     }
 }
 
+/// One stream's state as reported in a [`DirectMsg::JoinAck`]: where the
+/// responder's FIFO interpretation of the stream stands, which view it last
+/// saw the stream in, and the stream's latest certified checkpoint. A
+/// replacement node adopts these (taking the per-field maximum over `f + 1`
+/// acks, so no single replica is trusted) to resume interpreting streams at
+/// the live tail instead of from genesis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinStream {
+    /// The stream (its designated broadcaster).
+    pub stream: ReplicaId,
+    /// The next CTBcast id the responder expects on this stream.
+    pub fifo_next: SeqId,
+    /// The view the responder last saw this stream enter.
+    pub view: View,
+    /// The latest checkpoint the responder saw certified on this stream
+    /// (`None` if still at genesis).
+    pub checkpoint: Option<CheckpointCert>,
+}
+
+impl Wire for JoinStream {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.stream.encode(buf);
+        self.fifo_next.encode(buf);
+        self.view.encode(buf);
+        self.checkpoint.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(JoinStream {
+            stream: ReplicaId::decode(r)?,
+            fifo_next: SeqId::decode(r)?,
+            view: View::decode(r)?,
+            checkpoint: Option::<CheckpointCert>::decode(r)?,
+        })
+    }
+}
+
 /// Point-to-point messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DirectMsg {
@@ -546,6 +582,30 @@ pub enum DirectMsg {
         summary: StateSummary,
         /// Signature over [`vc_sign_bytes`].
         sig: Signature,
+    },
+    /// A replacement node announcing itself to a peer (uBFT extended
+    /// version, §replacement): "I am `replica`'s fresh incarnation; tell me
+    /// where the protocol stands." `reg_floor` is the highest CTBcast id
+    /// the joiner recovered from its own stream's register bank on the
+    /// memory nodes — peers need not trust it (it only raises the joiner's
+    /// own broadcast cursor), it is carried for observability.
+    Join {
+        /// Highest own-stream id recovered from the SWMR register bank.
+        reg_floor: SeqId,
+    },
+    /// A peer's answer to [`DirectMsg::Join`]: its protocol coordinates.
+    /// The joiner acts only on `f + 1` matching-or-dominated acks, and
+    /// everything decision-relevant inside (checkpoints, commits) carries
+    /// its own `f + 1` certificate, so no single responder is trusted.
+    JoinAck {
+        /// The responder's current view.
+        view: View,
+        /// Per-stream FIFO positions, views, and checkpoints.
+        streams: Vec<JoinStream>,
+        /// The responder's most recent decided slots (certificate-backed),
+        /// for replaying decided-but-unexecuted slots above the adopted
+        /// checkpoint. Bounded like a [`StateSummary`]'s commit list.
+        commits: Vec<(Slot, CommitCert)>,
     },
     /// A summary certification share sent to the stream's broadcaster
     /// (Algorithm 4 line 2).
@@ -582,6 +642,19 @@ impl Wire for DirectMsg {
                 digest.encode(buf);
                 sig.encode(buf);
             }
+            DirectMsg::Join { reg_floor } => {
+                3u8.encode(buf);
+                reg_floor.encode(buf);
+            }
+            DirectMsg::JoinAck { view, streams, commits } => {
+                4u8.encode(buf);
+                view.encode(buf);
+                encode_seq(streams, buf);
+                encode_seq(
+                    &commits.iter().map(|(s, c)| SlotCommit(*s, c.clone())).collect::<Vec<_>>(),
+                    buf,
+                );
+            }
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
@@ -598,6 +671,15 @@ impl Wire for DirectMsg {
                 upto: SeqId::decode(r)?,
                 digest: Digest::decode(r)?,
                 sig: Signature::decode(r)?,
+            }),
+            3 => Ok(DirectMsg::Join { reg_floor: SeqId::decode(r)? }),
+            4 => Ok(DirectMsg::JoinAck {
+                view: View::decode(r)?,
+                streams: decode_seq(r)?,
+                commits: {
+                    let commits: Vec<SlotCommit> = decode_seq(r)?;
+                    commits.into_iter().map(|p| (p.0, p.1)).collect()
+                },
             }),
             tag => Err(CodecError::BadTag { ty: "DirectMsg", tag }),
         }
@@ -699,6 +781,25 @@ mod tests {
             cert: Certificate::new(),
         });
         roundtrip(&DirectMsg::Echo { req: req() });
+        roundtrip(&DirectMsg::Join { reg_floor: SeqId(17) });
+        roundtrip(&DirectMsg::JoinAck {
+            view: View(2),
+            streams: vec![
+                JoinStream {
+                    stream: ReplicaId(0),
+                    fifo_next: SeqId(41),
+                    view: View(2),
+                    checkpoint: Some(CheckpointCert::genesis()),
+                },
+                JoinStream {
+                    stream: ReplicaId(1),
+                    fifo_next: SeqId(1),
+                    view: View(0),
+                    checkpoint: None,
+                },
+            ],
+            commits: vec![(Slot(9), CommitCert { prepare: prepare(), cert: Certificate::new() })],
+        });
     }
 
     #[test]

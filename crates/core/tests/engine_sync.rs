@@ -16,6 +16,9 @@ use ubft_types::{ClientId, ClusterParams, ProcessId, ReplicaId, RequestId, SeqId
 struct Net {
     engines: Vec<Engine>,
     apps: Vec<NoopApp>,
+    /// Shared engine configuration + key ring, kept for replacement nodes.
+    cfg: EngineConfig,
+    ring: KeyRing,
     /// CTBcast id counters per stream.
     ctb_next: Vec<u64>,
     /// Every CTBcast broadcast in emission order: (stream, message).
@@ -28,6 +31,9 @@ struct Net {
     crashed: Vec<bool>,
     /// Byzantine detections observed: (detector, culprit).
     brands: Vec<(usize, u32)>,
+    /// Latest checkpoint snapshot per replica: (base, digest, app bytes) —
+    /// what a replacement node's state transfer is served from.
+    snapshots: Vec<Option<(Slot, ubft_crypto::Digest, Vec<u8>)>>,
     /// Pending effect queue: (origin replica, effect).
     queue: VecDeque<(usize, Effect)>,
 }
@@ -51,12 +57,15 @@ impl Net {
         let mut net = Net {
             engines,
             apps: (0..n).map(|_| NoopApp::new()).collect(),
+            cfg,
+            ring,
             ctb_next: vec![1; n],
             ctb_log: Vec::new(),
             executed: vec![Vec::new(); n],
             timers: vec![Vec::new(); n],
             crashed: vec![false; n],
             brands: Vec::new(),
+            snapshots: vec![None; n],
             queue: VecDeque::new(),
         };
         for i in 0..n {
@@ -121,8 +130,33 @@ impl Net {
                 }
                 Effect::RequestSnapshot { base } => {
                     let digest = self.apps[who].snapshot_digest();
+                    self.snapshots[who] = Some((base, digest, self.apps[who].snapshot_bytes()));
                     let fx = self.engines[who].on_snapshot(base, digest);
                     self.enqueue(who, fx);
+                }
+                Effect::StateTransfer { base, app_digest } => {
+                    // Serve the transfer from any live peer's retained
+                    // checkpoint snapshot, verified against the certified
+                    // digest (the runtime does exactly this).
+                    let donor = (0..self.n()).find(|r| {
+                        !self.crashed[*r]
+                            && self.snapshots[*r]
+                                .as_ref()
+                                .is_some_and(|(b, d, _)| *b == base && *d == app_digest)
+                    });
+                    let (_, _, bytes) =
+                        self.snapshots[donor.expect("a live donor snapshot")].clone().unwrap();
+                    self.apps[who].restore_bytes(&bytes);
+                    assert_eq!(self.apps[who].snapshot_digest(), app_digest);
+                }
+                Effect::AdoptStreams { tails } => {
+                    // The harness's only transport cursor is the per-stream
+                    // broadcast counter; adopt our own entry.
+                    for (stream, next) in tails {
+                        if stream.0 as usize == who {
+                            self.ctb_next[who] = self.ctb_next[who].max(next.0);
+                        }
+                    }
                 }
                 Effect::ArmTimer { kind } => {
                     self.timers[who].push(kind);
@@ -169,6 +203,22 @@ impl Net {
                 }
             }
         }
+        self.drain();
+    }
+
+    /// Boots a replacement node for crashed replica `v`: fresh engine and
+    /// application, join handshake driven to completion (the acks arrive
+    /// synchronously inside the drain).
+    fn replace(&mut self, v: usize) {
+        assert!(self.crashed[v], "only a crashed replica can be replaced");
+        self.crashed[v] = false;
+        self.engines[v] = Engine::new(ReplicaId(v as u32), self.cfg.clone(), self.ring.clone());
+        self.apps[v] = NoopApp::new();
+        self.executed[v].clear();
+        self.timers[v].clear();
+        self.snapshots[v] = None;
+        let fx = self.engines[v].begin_join(SeqId(0));
+        self.enqueue(v, fx);
         self.drain();
     }
 
@@ -799,4 +849,137 @@ fn fast_path_is_signature_free() {
         assert_eq!(ops.signs, 0, "replica {r} signed on the fast path");
         assert_eq!(ops.verifies, 0, "replica {r} verified on the fast path");
     }
+}
+
+/// Decides one request while a replica is down: the echo round and the
+/// fast path both lack unanimity, so the echo-fallback and slow-path
+/// timers carry the slot.
+fn decide_degraded(net: &mut Net, seq: u64, payload: &[u8]) {
+    net.client_request(seq, payload);
+    net.fire_timers(|k| matches!(k, TimerKind::EchoFallback(_)));
+    net.fire_timers(|k| matches!(k, TimerKind::SlotSlowTrigger(_)));
+}
+
+#[test]
+fn replacement_node_rejoins_and_converges() {
+    // Small window so checkpoints (and therefore state transfer) happen
+    // within a short run: crash follower 2, decide two windows' worth of
+    // slots without it, replace it, then keep going until the next
+    // checkpoint hands it the state it cannot replay.
+    let params = ClusterParams::paper_default().with_window(16);
+    let mut net = Net::with_params(PathMode::FastWithFallback, params);
+    for i in 0..10u64 {
+        net.client_request(i, &i.to_le_bytes());
+    }
+    net.crashed[2] = true;
+    for i in 10..40u64 {
+        decide_degraded(&mut net, i, &i.to_le_bytes());
+    }
+    assert_eq!(net.engines[0].exec_next(), Slot(40));
+
+    net.replace(2);
+    let diag = net.engines[2].diag();
+    assert!(!diag.joining, "join must complete once both acks are in");
+    // The join adopted the latest stable checkpoint (slot 32 with window
+    // 16), transferred the state below it, and replayed the certified
+    // recent decisions above it.
+    assert!(net.engines[2].exec_next() >= Slot(32), "checkpoint not adopted");
+
+    // New traffic flows through all three replicas again (full fast-path
+    // unanimity, no timers); the next checkpoints heal whatever the
+    // bounded replay missed.
+    for i in 40..60u64 {
+        net.client_request(i, &i.to_le_bytes());
+    }
+    assert_eq!(net.engines[0].exec_next(), Slot(60));
+    assert_eq!(net.engines[2].exec_next(), Slot(60), "replacement lagging");
+    let digest = net.apps[0].snapshot_digest();
+    assert_eq!(net.apps[1].snapshot_digest(), digest);
+    assert_eq!(net.apps[2].snapshot_digest(), digest, "replacement diverged");
+    // The replacement's own execution log is a clean suffix: it starts at
+    // its state-transfer base, not at genesis.
+    assert!(net.executed[2].first().is_some_and(|(s, _)| *s >= Slot(32)));
+    // Nobody branded anybody: a replacement is not misbehaviour.
+    assert!(net.brands.is_empty(), "spurious byzantine brands: {:?}", net.brands);
+}
+
+#[test]
+fn replacement_leader_is_replaced_and_group_reelects() {
+    // Crash the *leader*, let the view change elect replica 1, then boot
+    // leader 0's replacement: it must adopt view 1 from the acks and act
+    // as a follower, not re-propose as a stale leader of view 0.
+    let mut net = Net::new(PathMode::FastWithFallback);
+    net.client_request(0, b"before");
+    net.crashed[0] = true;
+    net.client_request(1, b"during");
+    net.fire_timers(|k| matches!(k, TimerKind::Progress));
+    net.fire_timers(|k| matches!(k, TimerKind::Progress));
+    net.fire_timers(|k| matches!(k, TimerKind::SlotSlowTrigger(_)));
+    assert_eq!(net.engines[1].view(), View(1));
+
+    net.replace(0);
+    assert!(!net.engines[0].diag().joining);
+    assert_eq!(net.engines[0].view(), View(1), "joiner must adopt the acks' view");
+    assert!(!net.engines[0].is_leader(), "view 1 is led by replica 1");
+
+    // The replaced node participates in new decisions immediately. Slot 0
+    // decided on the certificate-free fast path before the crash, so the
+    // joiner cannot replay it (only the next checkpoint covers it); slot 1
+    // came with a slow-path certificate and replayed during the join.
+    net.client_request(2, b"after");
+    for r in 1..3 {
+        assert_eq!(net.engines[r].decided_count(), 3, "replica {r}");
+    }
+    assert!(net.engines[0].decided_count() >= 2, "joiner missed the replay or the new slot");
+    assert_eq!(net.apps[1].snapshot_digest(), net.apps[2].snapshot_digest());
+    assert!(net.brands.is_empty(), "spurious byzantine brands: {:?}", net.brands);
+}
+
+#[test]
+fn join_waits_for_quorum_acks() {
+    let mut net = Net::new(PathMode::FastOnly);
+    net.client_request(0, b"x");
+    net.crashed[2] = true;
+    net.client_request(1, b"y");
+    // Drive the handshake by hand: a single ack must not complete it.
+    net.crashed[2] = false;
+    net.engines[2] = Engine::new(ReplicaId(2), net.cfg.clone(), net.ring.clone());
+    let fx = net.engines[2].begin_join(SeqId(0));
+    let joins = fx
+        .iter()
+        .filter(|e| {
+            matches!(e, Effect::SendReplica { msg: ubft_core::msg::DirectMsg::Join { .. }, .. })
+        })
+        .count();
+    assert_eq!(joins, 2, "one Join per peer");
+    assert!(net.engines[2].diag().joining);
+    let ack = net.engines[0].on_join(ReplicaId(2));
+    let [Effect::SendReplica {
+        msg: ubft_core::msg::DirectMsg::JoinAck { view, streams, commits },
+        ..
+    }] = &ack[..]
+    else {
+        panic!("expected one JoinAck, got {ack:?}");
+    };
+    let fx = net.engines[2].on_join_ack(ReplicaId(0), *view, streams.clone(), commits.clone());
+    assert!(fx.is_empty(), "one ack is below the f+1 quorum");
+    assert!(net.engines[2].diag().joining, "must keep waiting for a second ack");
+}
+
+#[test]
+fn equivocation_sequence_recorded_in_diag() {
+    // The `_k` regression: the equivocating sequence number must survive
+    // into the diagnostics, not be dropped on the floor.
+    let mut net = Net::new(PathMode::FastOnly);
+    let fx = net.engines[1].on_ctb_equivocation(ReplicaId(0), SeqId(7));
+    assert!(matches!(
+        &fx[..],
+        [Effect::ByzantineDetected { replica: ReplicaId(0), reason }] if reason.contains("k=7")
+    ));
+    let diag = net.engines[1].diag();
+    assert_eq!(diag.equivocations, vec![(ReplicaId(0), SeqId(7))]);
+    // Only the first proof per stream is recorded; the stream is blocked.
+    let fx = net.engines[1].on_ctb_equivocation(ReplicaId(0), SeqId(9));
+    assert!(fx.is_empty());
+    assert_eq!(net.engines[1].diag().equivocations, vec![(ReplicaId(0), SeqId(7))]);
 }

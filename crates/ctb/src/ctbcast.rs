@@ -267,6 +267,50 @@ impl Ctb {
         self.stream
     }
 
+    /// Adopts the stream's tail at an arbitrary sequence offset: the next
+    /// id to originate (broadcaster) or interpret (receiver) becomes
+    /// `next`, and everything below it is treated as already handled.
+    ///
+    /// This is the replacement node's transport-level catch-up (uBFT
+    /// extended version, §replacement): a fresh instance that learned the
+    /// stream's position — from the SWMR register bank and `f + 1` join
+    /// acks — moves its cursors forward so (a) a rebooted broadcaster
+    /// never reuses an id peers already interpreted, and (b) a rebooted
+    /// receiver never delivers a stale retransmission from before its
+    /// adoption point. `next` need not align with the ring (`next % t`
+    /// can be anything): each ring slot's delivery floor becomes the
+    /// nearest id below `next` that maps to it, so a mid-wraparound
+    /// adoption refuses exactly the ids `< next` and nothing else.
+    ///
+    /// Cursors never move backwards; adopting at or below the current
+    /// position is a no-op.
+    pub fn adopt_tail(&mut self, next: SeqId) {
+        if next > self.next_k {
+            self.next_k = next;
+        }
+        let floor = SeqId(next.0.saturating_sub(1));
+        if floor > self.max_seen {
+            self.max_seen = floor;
+            let prune = self.max_seen.0.saturating_sub(2 * self.cfg.tail as u64);
+            self.payloads.retain(|(pk, _), _| *pk > prune);
+            self.my_broadcasts.retain(|pk, _| *pk > prune);
+            self.sign_requested.retain(|pk| *pk > prune);
+        }
+        // Per-ring-slot delivery floors: the highest id below `next` that
+        // aliases each slot.
+        for back in 1..=self.cfg.tail as u64 {
+            let Some(id) = next.0.checked_sub(back).filter(|id| *id >= 1) else { break };
+            let id = SeqId(id);
+            let slot = self.slot(id);
+            if self.delivered[slot].is_none_or(|d| id > d) {
+                self.delivered[slot] = Some(id);
+            }
+        }
+        // Any in-flight slow delivery below the adoption point is moot.
+        let keep = next;
+        self.slow.retain(|_, p| p.k >= keep);
+    }
+
     /// The id the next [`Ctb::broadcast`] will use.
     pub fn next_seq(&self) -> SeqId {
         self.next_k
@@ -919,6 +963,74 @@ mod tests {
         let out = h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Signed { k, m: m2, sig });
         h.run(out.into_iter().map(|e| (1usize, e)).collect());
         assert!(h.delivered[1].is_empty(), "conflicting slow value must be refused");
+    }
+
+    #[test]
+    fn adopt_tail_mid_wraparound_refuses_stale_and_accepts_fresh() {
+        // T = 4, adoption at k = 7: mid-ring (7 % 4 = 3), so the floors
+        // straddle a wraparound — slots hold floors 6, 5, 4, 3.
+        let mut h = Harness::new(cfg_fast());
+        for r in 0..N {
+            h.ctbs[r].adopt_tail(SeqId(7));
+        }
+        assert_eq!(h.ctbs[0].next_seq(), SeqId(7));
+        // A stale retransmission from before the adoption point (k = 5)
+        // must never deliver, even with full unanimity.
+        let mut queue = Vec::new();
+        for r in 0..N {
+            let out = h.ctbs[r]
+                .on_tb_deliver(rid(0), CtbWire::Lock { k: SeqId(5), m: b"stale".to_vec() });
+            queue.extend(out.into_iter().map(|e| (r, e)));
+        }
+        h.run(queue);
+        for r in 0..N {
+            assert!(h.delivered[r].is_empty(), "replica {r} delivered a pre-adoption id");
+        }
+        // The adopted broadcaster's next id flows end to end.
+        let k = h.broadcast(b"fresh");
+        assert_eq!(k, SeqId(7));
+        for r in 0..N {
+            assert_eq!(h.delivered[r], vec![(SeqId(7), b"fresh".to_vec())], "replica {r}");
+        }
+    }
+
+    #[test]
+    fn adopt_tail_never_moves_backwards() {
+        let mut h = Harness::new(cfg_fast());
+        for _ in 0..6 {
+            h.broadcast(b"x");
+        }
+        assert_eq!(h.ctbs[0].next_seq(), SeqId(7));
+        h.ctbs[0].adopt_tail(SeqId(3)); // stale adoption: no-op
+        assert_eq!(h.ctbs[0].next_seq(), SeqId(7));
+        let k = h.broadcast(b"y");
+        assert_eq!(k, SeqId(7));
+    }
+
+    #[test]
+    fn adopt_tail_on_slow_path_refuses_pre_adoption_signed() {
+        // A joiner that adopted at k = 6 receives a valid *signed* message
+        // for k = 5 (a pre-crash retransmission): the whole slow path runs
+        // — verify, write, read — but delivery is refused at the floor.
+        let h_ring = ring();
+        let signer = h_ring.signer(ProcessId::Replica(rid(0))).unwrap();
+        let mut h = Harness::new(cfg_slow());
+        h.ctbs[1].adopt_tail(SeqId(6));
+        let k = SeqId(5);
+        let m = b"pre-crash".to_vec();
+        let sig = signer.sign(&signed_bytes(rid(0), k, &fingerprint(&m)));
+        let out = h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Signed { k, m, sig });
+        h.run(out.into_iter().map(|e| (1usize, e)).collect());
+        assert!(h.delivered[1].is_empty(), "pre-adoption signed message must not deliver");
+        // A post-adoption id on the same ring slot (5 % 4 == 1 == 9 % 4)
+        // still delivers.
+        let k2 = SeqId(9);
+        let m2 = b"post-join".to_vec();
+        let sig2 = signer.sign(&signed_bytes(rid(0), k2, &fingerprint(&m2)));
+        let out =
+            h.ctbs[1].on_tb_deliver(rid(0), CtbWire::Signed { k: k2, m: m2.clone(), sig: sig2 });
+        h.run(out.into_iter().map(|e| (1usize, e)).collect());
+        assert_eq!(h.delivered[1], vec![(k2, m2)]);
     }
 
     #[test]

@@ -91,6 +91,19 @@ impl RegisterBank {
         RegisterReader { replicas: self.replicas.clone(), delta: self.delta }
     }
 
+    /// Re-keys the bank to a *replacement* writer: a fresh node taking
+    /// over the crashed owner's identity gets a writer whose double-buffer
+    /// cursors and δ cooldowns restart from scratch (the old node's cursor
+    /// positions died with it). This is safe with concurrent readers: the
+    /// replacement writes strictly fresher timestamps, sub-registers are
+    /// still alternated per register from the restart point, and readers
+    /// take the highest valid timestamp — a restarted cursor can at worst
+    /// overwrite the *older* of the two sub-registers' values, which
+    /// regular-register semantics already permit.
+    pub fn rekey_writer(&self) -> RegisterWriter {
+        self.writer()
+    }
+
     /// Total bytes this bank occupies on **one** memory node (Table 2
     /// accounting).
     pub fn bytes_per_node(&self) -> usize {
@@ -248,6 +261,17 @@ pub enum ReadOutcome {
     NoQuorum,
 }
 
+/// The result of scanning a whole bank for its highest written timestamp
+/// ([`RegisterReader::scan_tail`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TailScan {
+    /// Highest valid timestamp found anywhere in the bank (`None` when the
+    /// bank has never been written — or every slot read back torn twice).
+    pub max_ts: Option<u64>,
+    /// When the slowest contributing quorum read completed.
+    pub completion: Time,
+}
+
 /// A reader of a bank of registers.
 #[derive(Clone, Debug)]
 pub struct RegisterReader {
@@ -330,6 +354,43 @@ impl RegisterReader {
                 }
             }
         }
+    }
+
+    /// Reads every register of the bank and returns the highest valid
+    /// timestamp found — the bank's *tail high-water mark*. A replacement
+    /// node runs this over its predecessor's bank to recover how far the
+    /// crashed writer's slow path had progressed, directly from the
+    /// memory nodes, before asking any replica (uBFT extended version,
+    /// §replacement). A read that overlaps a half-written frame retries
+    /// once (the §6.1 torn-write rule); a slot that stays torn is skipped
+    /// — the join handshake's `f + 1` acks cover whatever the scan missed.
+    pub fn scan_tail(&self, fabric: &mut Fabric, issuer: HostId, now: Time) -> TailScan {
+        let mut max_ts = None;
+        let mut completion = now;
+        for reg in 0..self.replicas.len() {
+            let mut at = now;
+            for _attempt in 0..2 {
+                match self.read(fabric, issuer, RegisterId(reg), at) {
+                    ReadOutcome::Value { ts, completion: c, .. } => {
+                        completion = completion.max(c);
+                        if max_ts.is_none_or(|m| ts > m) {
+                            max_ts = Some(ts);
+                        }
+                        break;
+                    }
+                    ReadOutcome::WriterByzantine { completion: c } => {
+                        completion = completion.max(c);
+                        break;
+                    }
+                    ReadOutcome::Retry { completion: c } => {
+                        completion = completion.max(c);
+                        at = c;
+                    }
+                    ReadOutcome::NoQuorum => break,
+                }
+            }
+        }
+        TailScan { max_ts, completion }
     }
 
     /// Validates one sub-register frame; returns `(ts, value)` when the

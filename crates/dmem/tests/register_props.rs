@@ -79,6 +79,98 @@ proptest! {
         }
     }
 
+    /// A replacement node's bank scan recovers the tail high-water mark:
+    /// after honest writes settle, `scan_tail` reports the highest
+    /// timestamp; an unwritten bank reports none.
+    #[test]
+    fn tail_scan_recovers_high_water_mark(
+        n_writes in 1u64..6,
+        gap_us in 12u64..40,
+        seed in any::<u64>(),
+    ) {
+        let (mut fabric, bank) = setup(seed);
+        let mut w = bank.writer();
+        let r = bank.reader();
+        let mut now = Time::ZERO;
+        let mut done = now;
+        // Alternate between the two registers so the maximum is not
+        // always in the last-written one.
+        for ts in 1..=n_writes {
+            let reg = RegisterId((ts % 2) as usize);
+            done = w
+                .write(&mut fabric, HostId(0), reg, ts, &ts.to_le_bytes(), now)
+                .expect("quorum write");
+            now += Duration::from_micros(gap_us);
+        }
+        let scan = r.scan_tail(&mut fabric, HostId(1), done + Duration::from_micros(gap_us));
+        prop_assert_eq!(scan.max_ts, Some(n_writes));
+        prop_assert!(scan.completion > done);
+        // A bank nobody ever wrote scans to nothing.
+        let (mut fresh_fabric, fresh_bank) = setup(seed ^ 1);
+        let scan = fresh_bank.reader().scan_tail(&mut fresh_fabric, HostId(1), Time::ZERO);
+        prop_assert_eq!(scan.max_ts, None);
+    }
+
+    /// A joiner scanning while the (about-to-die) writer is mid-write — a
+    /// half-written register — must never invent a timestamp: it sees the
+    /// old value, the new value, or (after its one retry) skips the slot.
+    #[test]
+    fn tail_scan_tolerates_half_written_register(
+        scan_offset_ns in 0u64..30_000,
+        seed in any::<u64>(),
+    ) {
+        let (mut fabric, bank) = setup(seed);
+        let mut w = bank.writer();
+        let r = bank.reader();
+        let d1 = w
+            .write(&mut fabric, HostId(0), RegisterId(0), 1, b"settled", Time::ZERO)
+            .expect("write 1");
+        let start2 = d1 + Duration::from_micros(10);
+        let _ = w.write(&mut fabric, HostId(0), RegisterId(0), 2, b"in-flight", start2);
+        let scan = r.scan_tail(&mut fabric, HostId(1), start2 + Duration::from_nanos(scan_offset_ns));
+        // ts = 1 has settled at a quorum, so the scan can only report the
+        // settled value or the newer in-flight one — never 0, never > 2.
+        // A `None` is legal too: both reads of the slot overlapped the
+        // write window, and the join handshake covers the gap.
+        if let Some(ts) = scan.max_ts {
+            prop_assert!(ts == 1 || ts == 2, "timestamp {} out of history", ts);
+        }
+    }
+
+    /// Re-keying the bank to a replacement writer preserves regularity:
+    /// once the replacement's first (fresher-timestamped) write settles,
+    /// readers never again return the dead writer's values.
+    #[test]
+    fn rekeyed_writer_supersedes_predecessor(
+        predecessor_writes in 1u64..5,
+        seed in any::<u64>(),
+    ) {
+        let (mut fabric, bank) = setup(seed);
+        let mut old_w = bank.writer();
+        let mut now = Time::ZERO;
+        let mut done = now;
+        for ts in 1..=predecessor_writes {
+            done = old_w
+                .write(&mut fabric, HostId(0), RegisterId(0), ts, b"old-incarnation", now)
+                .expect("quorum write");
+            now += Duration::from_micros(12);
+        }
+        drop(old_w); // the node is dead; its cursor positions are gone
+        let mut new_w = bank.rekey_writer();
+        let new_ts = predecessor_writes + 10;
+        let done2 = new_w
+            .write(&mut fabric, HostId(1), RegisterId(0), new_ts, b"new-incarnation", done + Duration::from_micros(12))
+            .expect("quorum write");
+        let r = bank.reader();
+        match r.read(&mut fabric, HostId(2), RegisterId(0), done2 + Duration::from_micros(12)) {
+            ReadOutcome::Value { ts, value, .. } => {
+                prop_assert_eq!(ts, new_ts);
+                prop_assert_eq!(&value[..15], b"new-incarnation");
+            }
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
     /// Crashing any single memory node never affects safety or liveness.
     #[test]
     fn any_single_memnode_crash_tolerated(victim in 0usize..3, seed in any::<u64>()) {

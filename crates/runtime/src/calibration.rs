@@ -83,7 +83,13 @@ impl SimConfig {
             cost: CostModel::paper_testbed(),
             failures: FailurePlan::none(),
             slow_trigger: Duration::from_micros(200),
-            progress_timeout: Duration::from_millis(1),
+            // Far above common-case latency *including* the checkpoint
+            // boundary's crypto burst (certificate signing/verification
+            // serializes on the background crypto worker for a few hundred
+            // microseconds every window), so the watchdog never fires in a
+            // failure-free run and never mistakes a checkpoint for a dead
+            // leader.
+            progress_timeout: Duration::from_micros(2_500),
             echo_fallback: Duration::from_micros(100),
             poll_pickup: Duration::from_nanos(150),
             retransmit_period: Duration::from_micros(150),
@@ -115,6 +121,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_tail(mut self, tail: usize) -> Self {
         self.params = self.params.with_tail(tail);
+        self
+    }
+
+    /// Overrides the consensus window (checkpoint cadence; recovery tests
+    /// shrink it so replacements catch up within short runs).
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.params = self.params.with_window(window);
         self
     }
 
@@ -171,6 +185,23 @@ impl SimConfig {
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Schedules a live replica replacement: replica `victim` crashes at
+    /// `crash_at` and a fresh node for the same replica id boots
+    /// `rejoin_delay` later on a new host, reconstructing its state from
+    /// the memory-node register banks, the latest certified checkpoint, and
+    /// a `Join`/`JoinAck` handshake with its peers (uBFT extended version,
+    /// §replacement). Composes with every other fault-plan builder.
+    #[must_use]
+    pub fn with_replacement(
+        mut self,
+        victim: usize,
+        crash_at: Time,
+        rejoin_delay: Duration,
+    ) -> Self {
+        self.failures = self.failures.replace_replica(victim, crash_at, crash_at + rejoin_delay);
         self
     }
 

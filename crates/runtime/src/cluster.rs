@@ -176,6 +176,23 @@ impl Cluster {
         self.dep.run_loop(requests, warmup, deadline);
         self.dep.aggregate_report()
     }
+
+    /// Drains in-flight work for `extra` more virtual time after a run:
+    /// [`Cluster::run`] returns the instant the last client completion
+    /// lands, at which point lagging replicas (most notably a freshly
+    /// replaced one) may still hold undelivered messages. Settling lets
+    /// them catch up so post-run state assertions (digests, `exec_next`)
+    /// compare fully converged replicas. No new requests are issued.
+    pub fn settle(&mut self, extra: ubft_types::Duration) {
+        self.dep.settle(extra);
+    }
+
+    /// Bytes replica `r` retains in checkpoint snapshots for serving
+    /// replacement-node state transfers (Table 2 accounting; zero unless
+    /// the fault plan schedules replacements).
+    pub fn replica_snapshot_bytes(&self, r: usize) -> usize {
+        self.dep.groups[0].replica_snapshot_bytes(r)
+    }
 }
 
 #[cfg(test)]

@@ -30,11 +30,11 @@ use ubft_sim::stats::LatencyStats;
 use ubft_sim::{EventQueue, HostId, SimRng};
 use ubft_transport::channel::{create_channel, ChannelReceiver, ChannelSender, ChannelSpec};
 use ubft_types::wire::Wire;
-use ubft_types::{ClientId, Duration, ProcessId, ReplicaId, SeqId, Time, View};
+use ubft_types::{ClientId, Duration, ProcessId, ReplicaId, SeqId, Slot, Time, View};
 
 use crate::calibration::SimConfig;
 use crate::cluster::{OpCounters, RunReport};
-use crate::node::ReplicaNode;
+use crate::node::{ReplicaNode, SNAPSHOT_RETAIN};
 
 /// Message lanes between nodes of one group.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -102,6 +102,25 @@ pub(crate) enum Ev {
     Retransmit {
         r: usize,
     },
+    /// Boot the replacement node for crashed replica `r` on `host` (the
+    /// fresh host id pre-allocated by the deployment).
+    Replace {
+        r: usize,
+        host: HostId,
+    },
+    /// Apply an engine-effect batch whose crypto work finishes at this
+    /// event's time. Effects stamped in the future must flow through the
+    /// queue — applying them early would hand the fabric out-of-order
+    /// timestamps, and its per-host-pair FIFO would then pin every later
+    /// (normally timed) message behind the future one.
+    EngineFx {
+        r: usize,
+        /// The node incarnation that scheduled the batch; a replacement
+        /// bumps it, so a dead incarnation's pending crypto never applies
+        /// to its successor.
+        epoch: u32,
+        fx: Vec<Effect>,
+    },
 }
 
 /// A group-tagged event in the shared deployment queue.
@@ -150,12 +169,29 @@ pub(crate) struct GroupRuntime {
     pub(crate) cfg: SimConfig,
     /// First global host id of this group's `n + n_clients` host block.
     host_base: u32,
+    /// Current host of each replica: `host_base + r` until a replacement
+    /// moves that replica to a freshly allocated host. Clients never move.
+    hosts: Vec<HostId>,
     pub(crate) nodes: Vec<ReplicaNode>,
     channels: HashMap<(Lane, usize, usize), Chan>,
+    /// `reg_banks[stream][owner]`: the SWMR banks themselves, retained so
+    /// a replacement node can be re-keyed as a bank's writer.
+    reg_banks: Vec<Vec<RegisterBank>>,
     /// `reg_readers[stream][owner]`: shared read endpoints (readers are
     /// host-agnostic; writers live with their owning node).
     reg_readers: Vec<Vec<RegisterReader>>,
     reg_banks_bytes_per_node: usize,
+    /// Serialized genesis application state, for resetting a replacement
+    /// node's app before its state transfer. Captured only when the fault
+    /// plan schedules replacements.
+    genesis_snapshot: Vec<u8>,
+    /// Whether nodes retain checkpoint snapshots (only when replacements
+    /// are planned; failure-free runs pay nothing).
+    keep_snapshots: bool,
+    /// State transfers that found no live donor snapshot (the pre-PR
+    /// fast-forward behaviour applies; surfaced in diagnostics because it
+    /// means a replica's application state may have silently diverged).
+    transfer_misses: u64,
     clients: Vec<Client>,
     issue_times: Vec<Time>,
     /// Consecutive empty workload pulls per client, driving exponential
@@ -203,18 +239,7 @@ impl GroupRuntime {
 
         // Engines.
         let engines: Vec<Engine> = (0..n as u32)
-            .map(|i| {
-                let mut ecfg = EngineConfig::new(cfg.params.clone(), cfg.path);
-                ecfg.echo_round = cfg.echo_round;
-                if let Some(every) = cfg.summary_every {
-                    ecfg.summary_half = every;
-                }
-                ecfg.max_batch = cfg.max_batch.max(1);
-                if let Some(depth) = cfg.pipeline_depth {
-                    ecfg.pipeline_depth = depth.max(1);
-                }
-                Engine::new(ReplicaId(i), ecfg, ring.clone())
-            })
+            .map(|i| Engine::new(ReplicaId(i), engine_config(&cfg), ring.clone()))
             .collect();
 
         // CTBcast instances per replica: one per stream.
@@ -310,14 +335,16 @@ impl GroupRuntime {
         // SWMR register banks: banks[stream][owner], replicated on the
         // shared memory nodes; only `owner` holds the writer. Each group
         // creates its own banks, so the memory nodes' space is partitioned
-        // per group.
-        let mut reg_writers: Vec<Vec<RegisterWriter>> =
-            (0..n).map(|_| Vec::with_capacity(n)).collect();
+        // per group. The banks themselves are retained (not just their
+        // endpoints): a replacement node is re-keyed as its predecessor's
+        // banks' writer.
+        let mut reg_banks: Vec<Vec<RegisterBank>> = Vec::with_capacity(n);
         let mut reg_readers: Vec<Vec<RegisterReader>> = Vec::with_capacity(n);
         let mut bank_bytes = 0usize;
         for _s in 0..n {
+            let mut banks = Vec::with_capacity(n);
             let mut rs = Vec::with_capacity(n);
-            for owner_writers in reg_writers.iter_mut() {
+            for _owner in 0..n {
                 let bank = RegisterBank::create(
                     sh.fabric,
                     mem_hosts,
@@ -326,15 +353,24 @@ impl GroupRuntime {
                     cfg.params.delta,
                 );
                 bank_bytes += bank.bytes_per_node();
-                owner_writers.push(bank.writer());
                 rs.push(bank.reader());
+                banks.push(bank);
             }
             reg_readers.push(rs);
+            reg_banks.push(banks);
         }
+        let mut reg_writers: Vec<Vec<RegisterWriter>> =
+            (0..n).map(|owner| (0..n).map(|s| reg_banks[s][owner].writer()).collect()).collect();
 
         let clients: Vec<Client> = (0..n_clients as u32)
             .map(|i| Client::new(ClientId(i), replica_ids.clone(), cfg.params.quorum()))
             .collect();
+
+        // Replacement support costs nothing unless the plan schedules one:
+        // only then do nodes retain checkpoint snapshots and the genesis
+        // state (for resetting a replacement's app before its transfer).
+        let keep_snapshots = cfg.failures.replacements().next().is_some();
+        let genesis_snapshot = if keep_snapshots { apps[0].snapshot_bytes() } else { Vec::new() };
 
         let nodes: Vec<ReplicaNode> = engines
             .into_iter()
@@ -351,6 +387,10 @@ impl GroupRuntime {
                 busy: Time::ZERO,
                 crypto_busy: Time::ZERO,
                 crashed: false,
+                snapshots: Vec::new(),
+                deferred_fx: 0,
+                deferred_until: Time::ZERO,
+                epoch: 0,
             })
             .collect();
 
@@ -360,10 +400,15 @@ impl GroupRuntime {
         let mut group = GroupRuntime {
             gid,
             host_base,
+            hosts: (0..n as u32).map(|r| HostId(host_base + r)).collect(),
             nodes,
             channels,
+            reg_banks,
             reg_readers,
             reg_banks_bytes_per_node: bank_bytes,
+            genesis_snapshot,
+            keep_snapshots,
+            transfer_misses: 0,
             clients,
             issue_times: vec![Time::ZERO; n_clients],
             idle_backoff: vec![0; n_clients],
@@ -407,6 +452,16 @@ impl GroupRuntime {
         self.n() + c
     }
 
+    /// Current host of group-local index `idx` (replica or client).
+    /// Replicas may have moved to a replacement host; clients never move.
+    fn host_of(&self, idx: usize) -> HostId {
+        if idx < self.nodes.len() {
+            self.hosts[idx]
+        } else {
+            HostId(self.host_base + idx as u32)
+        }
+    }
+
     fn push(&self, sh: &mut Shared<'_>, at: Time, ev: Ev) {
         sh.events.push(at, (self.gid, ev));
     }
@@ -436,6 +491,191 @@ impl GroupRuntime {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Replacement & state transfer (uBFT extended version, §replacement)
+    // ------------------------------------------------------------------
+
+    /// Restores replica `r`'s application to the certified state at
+    /// `base`, served from any live peer's retained checkpoint snapshot
+    /// and verified against the certified `app_digest` — the donor is not
+    /// trusted. Models the transfer as a bulk fabric fetch: the receiving
+    /// core is busy for the bytes' worst-case wire time.
+    fn state_transfer(&mut self, r: usize, base: Slot, app_digest: ubft_crypto::Digest, at: Time) {
+        if base == Slot(0) {
+            return; // genesis: the replacement already boots with it
+        }
+        let donor = (0..self.nodes.len()).find(|q| {
+            *q != r
+                && !self.nodes[*q].crashed
+                && self.nodes[*q].snapshots.iter().any(|(b, d, _)| *b == base && *d == app_digest)
+        });
+        let Some(q) = donor else {
+            // No donor (possible only when snapshots are not retained, or
+            // after extreme lag): fall back to the historical fast-forward
+            // and surface the divergence risk in diagnostics.
+            self.transfer_misses += 1;
+            return;
+        };
+        let bytes = self.nodes[q]
+            .snapshots
+            .iter()
+            .find(|(b, d, _)| *b == base && *d == app_digest)
+            .map(|(_, _, bytes)| bytes.clone())
+            .expect("donor just matched");
+        let cost = self.cfg.latency.worst_case(bytes.len());
+        self.nodes[r].app.restore_bytes(&bytes);
+        // The donor is untrusted: the restored state must hash to the
+        // *certified* digest, or the transfer is treated as missed (the
+        // next checkpoint retries from another donor).
+        if self.nodes[r].app.snapshot_digest() != app_digest {
+            self.transfer_misses += 1;
+            return;
+        }
+        let _ = self.charge(r, at, cost);
+    }
+
+    /// Boots the replacement node for crashed replica `r` on the freshly
+    /// allocated `new_host`: rebuilds every transport endpoint touching
+    /// `r`, re-keys `r`'s SWMR bank writers, scans its own stream's bank
+    /// tails on the memory nodes for the slow-path high-water mark, and
+    /// starts a fresh engine in the join state. Peers' endpoints toward
+    /// `r` are re-created here too — in a real deployment that retargeting
+    /// is what their `Join` receipt triggers; the simulator, owning both
+    /// ends, performs it at boot so the handshake finds working lanes.
+    pub(crate) fn replace_replica(
+        &mut self,
+        sh: &mut Shared<'_>,
+        r: usize,
+        new_host: HostId,
+        at: Time,
+    ) {
+        assert!(self.nodes[r].crashed, "replacement of a live replica {r}");
+        let n = self.n();
+        let n_clients = self.n_clients();
+        self.hosts[r] = new_host;
+
+        // Fresh channels for every lane touching r, in both directions
+        // (the old node's sender cursors and in-flight slots died with
+        // it). Recreating a map entry drops the old endpoints.
+        let cap = 2 * self.cfg.params.tail;
+        let spec = ChannelSpec { slots: cap, slot_payload: self.cfg.slot_payload() };
+        let wide_spec = ChannelSpec { slots: cap, slot_payload: self.cfg.wide_slot_payload() };
+        let client_spec = ChannelSpec { slots: 64, slot_payload: self.cfg.slot_payload() };
+        for peer in 0..n {
+            if peer == r {
+                continue;
+            }
+            for (from, to) in [(r, peer), (peer, r)] {
+                for s in 0..n {
+                    let (mut tx, rx) = create_channel(sh.fabric, self.host_of(to), spec);
+                    tx.bind_issuer(self.host_of(from));
+                    self.channels.insert((Lane::CtbTb { stream: s }, from, to), Chan { tx, rx });
+                }
+                for lane in [Lane::ConsTb, Lane::Direct] {
+                    let (mut tx, rx) = create_channel(sh.fabric, self.host_of(to), wide_spec);
+                    tx.bind_issuer(self.host_of(from));
+                    self.channels.insert((lane, from, to), Chan { tx, rx });
+                }
+            }
+        }
+        for c in 0..n_clients {
+            let c_node = self.client_node(c);
+            let (mut tx, rx) = create_channel(sh.fabric, new_host, client_spec);
+            tx.bind_issuer(self.host_of(c_node));
+            self.channels.insert((Lane::ClientReq, c_node, r), Chan { tx, rx });
+            let (mut tx, rx) = create_channel(sh.fabric, self.host_of(c_node), client_spec);
+            tx.bind_issuer(new_host);
+            self.channels.insert((Lane::ClientResp, r, c_node), Chan { tx, rx });
+        }
+
+        // Peers' TB receivers for r's lanes start over: the replacement's
+        // broadcasters number their frames from 1 again (transport seq
+        // and CTBcast ids are independent; the CTBcast ids are adopted).
+        for peer in 0..n {
+            if peer == r {
+                continue;
+            }
+            for s in 0..n {
+                self.nodes[peer].ctb_rx[s][r] = TailReceiver::new(ReplicaId(r as u32), cap);
+            }
+            self.nodes[peer].cons_rx[r] = TailReceiver::new(ReplicaId(r as u32), cap);
+        }
+
+        // The fresh node itself: new engine, new CTBcast stack, new TB
+        // endpoints, re-keyed bank writers, genesis application state.
+        let replica_ids: Vec<ReplicaId> = self.cfg.params.replicas().collect();
+        let peers_of = |r: usize| -> Vec<ReplicaId> {
+            (0..n as u32).map(ReplicaId).filter(|x| x.0 as usize != r).collect()
+        };
+        let ctb_cfg_for = |_s: usize| match self.cfg.path {
+            PathMode::FastOnly => CtbConfig {
+                n,
+                tail: self.cfg.params.tail,
+                fast_enabled: true,
+                slow: SlowMode::Never,
+            },
+            PathMode::SlowOnly => CtbConfig {
+                n,
+                tail: self.cfg.params.tail,
+                fast_enabled: false,
+                slow: SlowMode::Always,
+            },
+            PathMode::FastWithFallback => CtbConfig::deployed(n, self.cfg.params.tail),
+        };
+        let node = &mut self.nodes[r];
+        node.engine = Engine::new(ReplicaId(r as u32), engine_config(&self.cfg), self.ring.clone());
+        node.ctbs = (0..n)
+            .map(|s| {
+                Ctb::new(
+                    ReplicaId(r as u32),
+                    ReplicaId(s as u32),
+                    replica_ids.clone(),
+                    ctb_cfg_for(s),
+                )
+            })
+            .collect();
+        node.ctb_tx =
+            (0..n).map(|_s| TailBroadcaster::new(ReplicaId(r as u32), peers_of(r), cap)).collect();
+        node.ctb_rx = (0..n)
+            .map(|_s| {
+                (0..n).map(|sender| TailReceiver::new(ReplicaId(sender as u32), cap)).collect()
+            })
+            .collect();
+        node.cons_tx = TailBroadcaster::new(ReplicaId(r as u32), peers_of(r), cap);
+        node.cons_rx = (0..n).map(|s| TailReceiver::new(ReplicaId(s as u32), cap)).collect();
+        node.reg_writers = (0..n).map(|s| self.reg_banks[s][r].rekey_writer()).collect();
+        node.app.restore_bytes(&self.genesis_snapshot);
+        node.snapshots.clear();
+        node.busy = at;
+        node.crypto_busy = at;
+        node.crashed = false;
+        node.epoch += 1;
+        node.deferred_fx = 0;
+        node.deferred_until = Time::ZERO;
+
+        // Step 1 of the join: recover the own-stream tail high-water mark
+        // directly from the memory nodes (no replica trusted) — every
+        // owner's bank of stream r can witness ids the crashed node
+        // slow-pathed.
+        let mut reg_floor = SeqId(0);
+        let mut done = at;
+        for owner in 0..n {
+            let reader = &self.reg_readers[r][owner];
+            self.counters.reg_reads += reader.len() as u64;
+            let scan = reader.scan_tail(sh.fabric, new_host, at);
+            if let Some(ts) = scan.max_ts {
+                reg_floor = reg_floor.max(SeqId(ts));
+            }
+            done = done.max(scan.completion);
+        }
+        self.nodes[r].busy = done;
+
+        // Step 2: the Join/JoinAck handshake (engine-driven from here).
+        let fx = self.nodes[r].engine.begin_join(reg_floor);
+        let ops = self.nodes[r].engine.take_crypto_ops();
+        self.apply_engine_effects(sh, r, done, fx, ops);
     }
 
     // ------------------------------------------------------------------
@@ -471,6 +711,13 @@ impl GroupRuntime {
     /// memory node.
     pub(crate) fn disagg_bytes_per_node(&self) -> usize {
         self.reg_banks_bytes_per_node
+    }
+
+    /// Bytes replica `r` retains in checkpoint snapshots for serving
+    /// replacement-node state transfers (zero unless replacements are
+    /// planned).
+    pub(crate) fn replica_snapshot_bytes(&self, r: usize) -> usize {
+        self.nodes[r].snapshot_bytes()
     }
 
     /// Approximate replica-local resident bytes of replica `r`: channel
@@ -511,6 +758,12 @@ impl GroupRuntime {
             .collect();
         for (detector, culprit, why) in &self.byz_reports {
             s.push_str(&format!("  r{detector} branded r{culprit} byzantine: {why}\n"));
+        }
+        if self.transfer_misses > 0 {
+            s.push_str(&format!(
+                "  {} state transfer(s) found no donor snapshot (state may have diverged)\n",
+                self.transfer_misses
+            ));
         }
         s
     }
@@ -569,6 +822,22 @@ impl GroupRuntime {
         // signatures off the critical path), so it delays this call's
         // *effects* without blocking subsequent message processing.
         let done = self.charge(r, at, Duration::ZERO);
+        if ops.is_zero() && self.nodes[r].deferred_fx == 0 {
+            // The common (crypto-free) path applies effects inline — the
+            // historical behaviour, bit-for-bit.
+            for e in fx {
+                self.engine_effect(sh, r, done, e);
+            }
+            return;
+        }
+        // Crypto pushes this batch's effects into the future; route them
+        // through the event queue so the fabric only ever sees monotone
+        // timestamps per host pair (applying early would stall every later
+        // message behind the future arrival in the FIFO network). While any
+        // batch is pending, later batches — crypto-free or not — queue
+        // strictly behind it: the engine's emission order is a protocol
+        // invariant (e.g. a checkpoint must precede proposals into the
+        // window it opens).
         let effect_at = if ops.is_zero() {
             done
         } else {
@@ -579,8 +848,37 @@ impl GroupRuntime {
             node.crypto_busy = fin;
             fin
         };
+        let node = &mut self.nodes[r];
+        let at_eff = if effect_at > node.deferred_until {
+            effect_at
+        } else {
+            node.deferred_until + Duration::from_nanos(1)
+        };
+        node.deferred_until = at_eff;
+        node.deferred_fx += 1;
+        let epoch = node.epoch;
+        sh.events.push(at_eff, (self.gid, Ev::EngineFx { r, epoch, fx }));
+    }
+
+    /// A deferred engine-effect batch's crypto completed: apply it now.
+    fn on_engine_fx(
+        &mut self,
+        sh: &mut Shared<'_>,
+        r: usize,
+        epoch: u32,
+        fx: Vec<Effect>,
+        at: Time,
+    ) {
+        let node = &mut self.nodes[r];
+        if epoch != node.epoch {
+            return; // scheduled by a dead incarnation
+        }
+        node.deferred_fx = node.deferred_fx.saturating_sub(1);
+        if node.crashed {
+            return; // the node died with its crypto queue
+        }
         for e in fx {
-            self.engine_effect(sh, r, effect_at, e);
+            self.engine_effect(sh, r, at, e);
         }
     }
 
@@ -615,7 +913,25 @@ impl GroupRuntime {
             }
             Effect::RequestSnapshot { base } => {
                 let digest = self.nodes[r].app.snapshot_digest();
+                if self.keep_snapshots {
+                    // Retain the serialized state for serving replacement
+                    // nodes' transfers (bounded history).
+                    let bytes = self.nodes[r].app.snapshot_bytes();
+                    let node = &mut self.nodes[r];
+                    node.snapshots.push((base, digest, bytes));
+                    if node.snapshots.len() > SNAPSHOT_RETAIN {
+                        node.snapshots.remove(0);
+                    }
+                }
                 self.engine_call(sh, r, at, |e| e.on_snapshot(base, digest));
+            }
+            Effect::StateTransfer { base, app_digest } => {
+                self.state_transfer(r, base, app_digest, at);
+            }
+            Effect::AdoptStreams { tails } => {
+                for (stream, next) in tails {
+                    self.nodes[r].ctbs[stream.0 as usize].adopt_tail(next);
+                }
             }
             Effect::ArmTimer { kind } => {
                 let after = match kind {
@@ -696,7 +1012,7 @@ impl GroupRuntime {
             }
             CtbEffect::WriteRegister { slot, k, entry } => {
                 self.counters.reg_writes += 1;
-                let host = HostId(self.host_base + r as u32);
+                let host = self.host_of(r);
                 let mut entry = entry;
                 // A register-corrupting replica stores a garbled fingerprint
                 // in its own SWMR slot. Readers must treat the entry as a
@@ -816,7 +1132,7 @@ impl GroupRuntime {
         slot: usize,
         at: Time,
     ) -> (Vec<Option<RegEntry>>, Time) {
-        let host = HostId(self.host_base + r as u32);
+        let host = self.host_of(r);
         let mut entries = Vec::with_capacity(self.n());
         let mut completion = at;
         for owner in 0..self.n() {
@@ -1141,6 +1457,8 @@ impl GroupRuntime {
             }
             Ev::ClientIssue { c } => self.on_client_issue(sh, c, t),
             Ev::Retransmit { r } => self.on_retransmit_tick(sh, r, t),
+            Ev::Replace { r, host } => self.replace_replica(sh, r, host, t),
+            Ev::EngineFx { r, epoch, fx } => self.on_engine_fx(sh, r, epoch, fx, t),
         }
     }
 }
@@ -1180,7 +1498,6 @@ impl Deployment {
         let n_clients = base.n_clients.max(1);
         let n_mem = base.params.n_mem();
         let block = n + n_clients;
-        let n_hosts = shards * block + n_mem;
 
         // Per-group configurations: group-local seed and fault plan.
         let cfgs: Vec<SimConfig> = (0..shards)
@@ -1195,6 +1512,20 @@ impl Deployment {
                 cfg
             })
             .collect();
+
+        // Replacement nodes get brand-new host ids past the memory nodes,
+        // pre-allocated so the host count (and thus the deterministic
+        // event schedule) is fixed at build time.
+        let mut n_hosts = shards * block + n_mem;
+        let mut replacements: Vec<(Time, u32, usize, HostId)> = Vec::new();
+        for (g, cfg) in cfgs.iter().enumerate() {
+            for (r, _crash_at, rejoin_at) in cfg.failures.replacements() {
+                assert!(r < n, "shard {g}: replacement victim {r} out of range");
+                let host = HostId(n_hosts as u32);
+                n_hosts += 1;
+                replacements.push((rejoin_at, g as u32, r, host));
+            }
+        }
 
         let rng = SimRng::new(base.seed);
         let mut net = NetworkModel::synchronous(base.latency.clone(), n_hosts)
@@ -1255,6 +1586,9 @@ impl Deployment {
                 &mut sh,
             ));
         }
+        for (rejoin_at, g, r, host) in replacements {
+            events.push(rejoin_at, (g, Ev::Replace { r, host }));
+        }
 
         Deployment { now: Time::ZERO, fabric, events, ctl, groups }
     }
@@ -1283,6 +1617,27 @@ impl Deployment {
             // Apply the handling group's scheduled crashes; other groups'
             // crash flags are only read while handling their own events,
             // so they catch up then.
+            let group = &mut groups[gid as usize];
+            group.apply_scheduled_crashes(t);
+            let mut sh = Shared { fabric, events, ctl };
+            group.handle(&mut sh, ev, t);
+        }
+    }
+
+    /// Keeps processing events for `extra` more virtual time *without* a
+    /// completion target: in-flight deliveries drain, stragglers (and
+    /// replacement nodes) finish catching up. The closed loop stops
+    /// issuing once the target is met, so this converges instead of
+    /// generating new work.
+    pub(crate) fn settle(&mut self, extra: Duration) {
+        let deadline = self.now + extra;
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let Some((t, (gid, ev))) = self.events.pop() else { break };
+            self.now = t;
+            let Deployment { fabric, events, ctl, groups, .. } = self;
             let group = &mut groups[gid as usize];
             group.apply_scheduled_crashes(t);
             let mut sh = Shared { fabric, events, ctl };
@@ -1335,4 +1690,20 @@ impl Deployment {
 /// bit-for-bit guarantee), later groups fold in a golden-ratio multiple.
 fn group_seed(base: u64, g: usize) -> u64 {
     base ^ (g as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The engine configuration a [`SimConfig`] prescribes — shared by initial
+/// construction and replacement-node construction so the two can never
+/// drift.
+fn engine_config(cfg: &SimConfig) -> EngineConfig {
+    let mut ecfg = EngineConfig::new(cfg.params.clone(), cfg.path);
+    ecfg.echo_round = cfg.echo_round;
+    if let Some(every) = cfg.summary_every {
+        ecfg.summary_half = every;
+    }
+    ecfg.max_batch = cfg.max_batch.max(1);
+    if let Some(depth) = cfg.pipeline_depth {
+        ecfg.pipeline_depth = depth.max(1);
+    }
+    ecfg
 }

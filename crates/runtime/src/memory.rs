@@ -16,6 +16,12 @@ pub struct MemoryReport {
     /// The per-shard breakdown of [`MemoryReport::disagg_bytes_per_node`].
     /// A single-group cluster reports one entry.
     pub disagg_bytes_per_shard: Vec<usize>,
+    /// Bytes the measured replica retains in checkpoint snapshots for
+    /// serving replacement-node state transfers. Zero unless the fault
+    /// plan schedules replacements — supporting churn is free until it is
+    /// actually exercised, and even then the history is bounded (a handful
+    /// of checkpoints), keeping the paper's bounded-memory story intact.
+    pub replica_snapshot_bytes: usize,
 }
 
 impl MemoryReport {
@@ -25,6 +31,7 @@ impl MemoryReport {
             replica_local_bytes: cluster.replica_local_bytes(0),
             disagg_bytes_per_node: cluster.disagg_bytes_per_node(),
             disagg_bytes_per_shard: vec![cluster.disagg_bytes_per_node()],
+            replica_snapshot_bytes: cluster.replica_snapshot_bytes(0),
         }
     }
 
@@ -37,6 +44,7 @@ impl MemoryReport {
             disagg_bytes_per_shard: (0..cluster.shards())
                 .map(|g| cluster.shard_disagg_bytes_per_node(g))
                 .collect(),
+            replica_snapshot_bytes: cluster.replica_snapshot_bytes(0, 0),
         }
     }
 }

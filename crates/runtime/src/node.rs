@@ -4,10 +4,17 @@
 
 use ubft_core::app::App;
 use ubft_core::engine::Engine;
+use ubft_crypto::Digest;
 use ubft_ctb::ctbcast::Ctb;
 use ubft_ctb::tbcast::{TailBroadcaster, TailReceiver};
 use ubft_dmem::register::RegisterWriter;
-use ubft_types::Time;
+use ubft_types::{Slot, Time};
+
+/// How many recent checkpoint snapshots a replica retains for serving
+/// state transfers to replacement nodes. The joiner always asks for a
+/// *recent* stable checkpoint (its `f + 1` join acks name one), so a short
+/// history suffices; anything older is covered by a newer checkpoint.
+pub(crate) const SNAPSHOT_RETAIN: usize = 4;
 
 /// One replica's complete protocol stack.
 ///
@@ -43,6 +50,21 @@ pub(crate) struct ReplicaNode {
     pub crypto_busy: Time,
     /// Whether a scheduled crash has taken effect.
     pub crashed: bool,
+    /// Recent checkpoint snapshots `(base, app digest, app bytes)`, oldest
+    /// first, retained to serve replacement-node state transfers. Empty
+    /// (and never populated) unless the deployment's fault plan schedules
+    /// replacements, so failure-free runs pay nothing.
+    pub snapshots: Vec<(Slot, Digest, Vec<u8>)>,
+    /// Engine-effect batches deferred behind crypto completion that have
+    /// not been applied yet (see `Ev::EngineFx` in the group runtime).
+    pub deferred_fx: u32,
+    /// Scheduled time of the most recent deferred batch: later batches —
+    /// even crypto-free ones — must apply after it to preserve the
+    /// engine's emission order.
+    pub deferred_until: Time,
+    /// Incarnation counter, bumped on replacement: deferred batches carry
+    /// the epoch that scheduled them and are dropped on mismatch.
+    pub epoch: u32,
 }
 
 impl ReplicaNode {
@@ -57,5 +79,11 @@ impl ReplicaNode {
         }
         total += self.cons_tx.buffered_bytes();
         total
+    }
+
+    /// Bytes retained in checkpoint snapshots kept for replacement-node
+    /// state transfers (zero unless the fault plan schedules replacements).
+    pub fn snapshot_bytes(&self) -> usize {
+        self.snapshots.iter().map(|(_, _, b)| b.len()).sum()
     }
 }

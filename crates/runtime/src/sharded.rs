@@ -204,6 +204,19 @@ impl ShardedCluster {
         report
     }
 
+    /// Drains in-flight work for `extra` more virtual time after a run, so
+    /// lagging replicas — most notably freshly replaced ones — converge
+    /// before post-run state assertions. No new requests are issued.
+    pub fn settle(&mut self, extra: ubft_types::Duration) {
+        self.dep.settle(extra);
+    }
+
+    /// Bytes replica `r` of shard `g` retains in checkpoint snapshots for
+    /// serving replacement-node state transfers.
+    pub fn replica_snapshot_bytes(&self, g: usize, r: usize) -> usize {
+        self.dep.groups[g].replica_snapshot_bytes(r)
+    }
+
     /// Like [`ShardedCluster::run`] but gives up (without panicking) when
     /// virtual time exceeds `deadline`, so stalls are observable instead of
     /// fatal.

@@ -53,6 +53,19 @@ pub enum Fault {
         /// Activation time.
         from: Time,
     },
+    /// Replica `index` crashes at `crash_at` and a fresh replacement node
+    /// (same replica id, new host) boots at `rejoin_at`, reconstructing its
+    /// state from the memory nodes and a join handshake (uBFT extended
+    /// version, §replacement — what lets `2f + 1` deployments survive
+    /// churn).
+    Replace {
+        /// Replica index.
+        index: usize,
+        /// Crash time of the original node.
+        crash_at: Time,
+        /// Boot time of the replacement node (must be after `crash_at`).
+        rejoin_at: Time,
+    },
     /// Replicas `a` and `b` cannot exchange messages during `[from, until)`.
     Partition {
         /// One endpoint (replica index).
@@ -103,6 +116,25 @@ impl FailurePlan {
         self
     }
 
+    /// Crashes replica `index` at `crash_at` and boots a fresh replacement
+    /// node for the same replica id at `rejoin_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rejoin_at <= crash_at` (the replacement must strictly
+    /// follow the crash) or if the plan already schedules a crash or
+    /// replacement for `index` (one lifecycle per replica per plan).
+    #[must_use]
+    pub fn replace_replica(mut self, index: usize, crash_at: Time, rejoin_at: Time) -> Self {
+        assert!(rejoin_at > crash_at, "replacement must boot after the crash");
+        assert!(
+            self.replica_crash_time(index).is_none(),
+            "replica {index} already has a scheduled crash or replacement"
+        );
+        self.faults.push(Fault::Replace { index, crash_at, rejoin_at });
+        self
+    }
+
     /// Sets an initial asynchronous period ending at `gst`.
     #[must_use]
     pub fn with_asynchrony(mut self, gst: Time, extra: Duration) -> Self {
@@ -148,10 +180,22 @@ impl FailurePlan {
         })
     }
 
-    /// Crash time of replica `index`, if scheduled.
+    /// Crash time of replica `index`, if scheduled — a [`Fault::Replace`]
+    /// schedules a crash exactly like [`Fault::ReplicaCrash`] does (the
+    /// rejoin is a separate, later event).
     pub fn replica_crash_time(&self, index: usize) -> Option<Time> {
         self.faults.iter().find_map(|f| match f {
             Fault::ReplicaCrash { index: i, at } if *i == index => Some(*at),
+            Fault::Replace { index: i, crash_at, .. } if *i == index => Some(*crash_at),
+            _ => None,
+        })
+    }
+
+    /// All scheduled replacements as `(index, crash_at, rejoin_at)` tuples,
+    /// in schedule order.
+    pub fn replacements(&self) -> impl Iterator<Item = (usize, Time, Time)> + '_ {
+        self.faults.iter().filter_map(|f| match f {
+            Fault::Replace { index, crash_at, rejoin_at } => Some((*index, *crash_at, *rejoin_at)),
             _ => None,
         })
     }
@@ -173,6 +217,9 @@ impl FailurePlan {
             .filter_map(|f| match f {
                 Fault::ReplicaCrash { index, .. } => Some(*index),
                 Fault::Byzantine { index, .. } => Some(*index),
+                // A replaced replica is faulty between its crash and its
+                // rejoin — it counts against `f` like any crash.
+                Fault::Replace { index, .. } => Some(*index),
                 // Partitioned replicas are correct — the network is at
                 // fault, and eventual synchrony says it heals.
                 Fault::MemNodeCrash { .. } | Fault::Partition { .. } => None,
@@ -243,6 +290,26 @@ mod tests {
         assert_eq!(p.faulty_replica_count(), 0);
         let parts: Vec<_> = p.partitions().collect();
         assert_eq!(parts, vec![(0, 2, t(10), t(50))]);
+    }
+
+    #[test]
+    fn replacement_schedules_crash_and_rejoin() {
+        let p = FailurePlan::none().replace_replica(1, t(100), t(400));
+        assert_eq!(p.replica_crash_time(1), Some(t(100)));
+        assert_eq!(p.replacements().collect::<Vec<_>>(), vec![(1, t(100), t(400))]);
+        assert_eq!(p.faulty_replica_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boot after the crash")]
+    fn replacement_must_follow_crash() {
+        let _ = FailurePlan::none().replace_replica(0, t(10), t(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a scheduled crash")]
+    fn one_lifecycle_per_replica() {
+        let _ = FailurePlan::none().crash_replica(2, t(5)).replace_replica(2, t(10), t(20));
     }
 
     #[test]

@@ -82,6 +82,16 @@ impl ClusterParams {
         self
     }
 
+    /// Returns a copy with a different consensus window (smaller windows
+    /// checkpoint more often, which is what bounds how far a replacement
+    /// node must catch up by replay).
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one open slot");
+        self.window = window;
+        self
+    }
+
     /// Returns a copy with a different maximum request size.
     #[must_use]
     pub fn with_max_request_bytes(mut self, bytes: usize) -> Self {

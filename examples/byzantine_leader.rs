@@ -35,6 +35,12 @@ impl App for Recorded {
     fn snapshot_digest(&self) -> Digest {
         self.inner.snapshot_digest()
     }
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        self.inner.snapshot_bytes()
+    }
+    fn restore_bytes(&mut self, bytes: &[u8]) {
+        self.inner.restore_bytes(bytes);
+    }
 }
 
 fn main() {

@@ -39,8 +39,10 @@
 //!
 //! More runnable entry points live in `examples/` at the repository root:
 //! `quickstart` (the snippet above), `kv_store`, `order_matching`,
-//! `crash_failover`, and `byzantine_leader` — run any of them with
-//! `cargo run --release --example <name>`.
+//! `crash_failover`, `byzantine_leader`, and `replica_replacement`
+//! (crash a replica mid-run, boot a fresh node for its identity, and
+//! watch it converge bit-for-bit via `SimConfig::with_replacement`) —
+//! run any of them with `cargo run --release --example <name>`.
 //!
 //! # Batching and pipelining
 //!

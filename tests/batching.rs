@@ -124,6 +124,11 @@ impl Net {
                 Effect::CheckpointAdopted { .. }
                 | Effect::ViewChanged { .. }
                 | Effect::ByzantineDetected { .. } => {}
+                // No crashes in the batching harness: state transfers and
+                // stream adoption never fire.
+                Effect::StateTransfer { .. } | Effect::AdoptStreams { .. } => {
+                    unreachable!("no replacements in the batching harness")
+                }
             }
         }
     }

@@ -37,6 +37,14 @@ impl App for RecordingApp {
         self.inner.snapshot_digest()
     }
 
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        self.inner.snapshot_bytes()
+    }
+
+    fn restore_bytes(&mut self, bytes: &[u8]) {
+        self.inner.restore_bytes(bytes);
+    }
+
     fn execute_cost(&self, request: &[u8]) -> ubft_types::Duration {
         self.inner.execute_cost(request)
     }
@@ -247,4 +255,28 @@ fn agreement_holds_across_random_crash_schedules() {
         let correct: Vec<usize> = (0..3).filter(|r| *r != victim).collect();
         assert_prefix_consistent(&logs, &correct);
     }
+}
+
+#[test]
+fn equivocation_sequence_is_recorded_in_diagnostics() {
+    // Regression for the dropped `_k`: proof of equivocation must carry the
+    // offending CTBcast sequence number into the branding reason and the
+    // engine diagnostics, where operators (and these tests) can see it.
+    use ubft_core::engine::{Effect, Engine, EngineConfig, PathMode};
+    use ubft_crypto::KeyRing;
+    use ubft_types::{ClusterParams, ProcessId, ReplicaId, SeqId};
+
+    let params = ClusterParams::paper_default();
+    let ring = KeyRing::generate(7, (0..3u32).map(|i| ProcessId::Replica(ReplicaId(i))));
+    let mut engine =
+        Engine::new(ReplicaId(1), EngineConfig::new(params, PathMode::FastWithFallback), ring);
+    let fx = engine.on_ctb_equivocation(ReplicaId(0), SeqId(42));
+    assert!(matches!(
+        &fx[..],
+        [Effect::ByzantineDetected { replica: ReplicaId(0), reason }] if reason.contains("k=42")
+    ));
+    assert_eq!(engine.diag().equivocations, vec![(ReplicaId(0), SeqId(42))]);
+    // Later proofs on the same (already blocked) stream add nothing.
+    assert!(engine.on_ctb_equivocation(ReplicaId(0), SeqId(43)).is_empty());
+    assert_eq!(engine.diag().equivocations, vec![(ReplicaId(0), SeqId(42))]);
 }
