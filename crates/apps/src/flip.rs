@@ -60,6 +60,10 @@ impl App for FlipApp {
         Duration::from_nanos(150)
     }
 
+    fn sequential_model(&self) -> Option<Box<dyn App>> {
+        Some(Box::new(FlipApp::new()))
+    }
+
     fn name(&self) -> &'static str {
         "flip"
     }

@@ -197,6 +197,10 @@ impl App for KvApp {
         }
     }
 
+    fn sequential_model(&self) -> Option<Box<dyn App>> {
+        Some(Box::new(KvApp::new(self.frontend)))
+    }
+
     fn name(&self) -> &'static str {
         match self.frontend {
             KvFrontend::Memcached => "memcached",

@@ -266,6 +266,10 @@ impl App for OrderBookApp {
         Duration::from_nanos(3_200)
     }
 
+    fn sequential_model(&self) -> Option<Box<dyn App>> {
+        Some(Box::new(OrderBookApp::new()))
+    }
+
     fn name(&self) -> &'static str {
         "liquibook"
     }

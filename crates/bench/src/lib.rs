@@ -7,6 +7,9 @@
 //! fast; every run is deterministic in its seed, so more samples only narrow
 //! the jitter, never move the medians.
 
+pub mod chaos;
+pub use chaos::chaos_explore;
+
 use ubft_apps::workload::{self, WorkloadRng};
 use ubft_apps::{FlipApp, KvApp, KvFrontend, OrderBookApp};
 use ubft_core::app::{App, NoopApp};

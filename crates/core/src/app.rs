@@ -37,6 +37,17 @@ pub trait App {
         Duration::from_nanos(200)
     }
 
+    /// A fresh instance of this application at genesis, used by the safety
+    /// auditor as its *sequential model*: the canonical decided request
+    /// sequence is replayed through it and every replica's state digest is
+    /// compared against the model's (linearizability by construction —
+    /// replicated execution must be indistinguishable from one sequential
+    /// machine). `None` — the default — skips model-based auditing for
+    /// applications that do not implement it.
+    fn sequential_model(&self) -> Option<Box<dyn App>> {
+        None
+    }
+
     /// Human-readable name used by the benchmark harness.
     fn name(&self) -> &'static str {
         "app"
@@ -84,6 +95,10 @@ impl App for NoopApp {
 
     fn execute_cost(&self, _request: &[u8]) -> Duration {
         Duration::from_nanos(100)
+    }
+
+    fn sequential_model(&self) -> Option<Box<dyn App>> {
+        Some(Box::new(NoopApp::new()))
     }
 
     fn name(&self) -> &'static str {

@@ -36,6 +36,8 @@ pub struct Client {
     quorum: usize,
     next_seq: u64,
     current: Option<RequestId>,
+    /// The in-flight request, kept for retransmission.
+    current_req: Option<Request>,
     votes: Vec<(ReplicaId, Digest)>,
     done: bool,
 }
@@ -44,7 +46,16 @@ impl Client {
     /// Creates a client that needs `quorum` (`f + 1`) matching replies.
     pub fn new(id: ClientId, replicas: Vec<ReplicaId>, quorum: usize) -> Self {
         assert!(quorum >= 1 && quorum <= replicas.len());
-        Client { id, replicas, quorum, next_seq: 0, current: None, votes: Vec::new(), done: true }
+        Client {
+            id,
+            replicas,
+            quorum,
+            next_seq: 0,
+            current: None,
+            current_req: None,
+            votes: Vec::new(),
+            done: true,
+        }
     }
 
     /// This client's id.
@@ -79,12 +90,28 @@ impl Client {
         self.votes.clear();
         self.done = false;
         let req = Request { id, payload };
+        self.current_req = Some(req.clone());
         let fx = self
             .replicas
             .iter()
             .map(|&to| ClientEffect::SendRequest { to, req: req.clone() })
             .collect();
         (id, fx)
+    }
+
+    /// Re-sends the in-flight request to every replica (no effect when
+    /// idle). Clients retransmit on a timeout: a request or reply lost to
+    /// a partition or crash must not stall the closed loop forever —
+    /// replicas deduplicate, and executed requests are answered from
+    /// their last-reply cache.
+    pub fn retransmit(&mut self) -> Vec<ClientEffect> {
+        if self.done {
+            return Vec::new();
+        }
+        let Some(req) = self.current_req.clone() else {
+            return Vec::new();
+        };
+        self.replicas.iter().map(|&to| ClientEffect::SendRequest { to, req: req.clone() }).collect()
     }
 
     /// Feeds a reply from a replica.

@@ -56,6 +56,18 @@ pub struct EngineConfig {
     /// consensus window) never binds, reproducing the eager unpipelined
     /// proposer exactly.
     pub pipeline_depth: usize,
+    /// Whether the engine records a [`DecisionRecord`] for every slot it
+    /// decides (drained via [`Engine::take_decisions`]). Off by default:
+    /// only audited runs pay the bookkeeping.
+    pub record_decisions: bool,
+    /// Test-only mutation hook: decide a slot on the *first* WILL_COMMIT /
+    /// COMMIT instead of the full quorum — i.e. skip the certificate/quorum
+    /// check that makes decisions safe. Exists so the safety auditor's
+    /// certified-commit-coverage invariant can be shown to actually fire
+    /// (an auditor that cannot fail is untested). Never set in production
+    /// configurations.
+    #[doc(hidden)]
+    pub test_decide_early: bool,
 }
 
 impl EngineConfig {
@@ -65,7 +77,16 @@ impl EngineConfig {
     pub fn new(params: ClusterParams, path: PathMode) -> Self {
         let summary_half = (params.tail / 2).max(1) as u64;
         let pipeline_depth = params.window;
-        EngineConfig { params, path, summary_half, echo_round: true, max_batch: 1, pipeline_depth }
+        EngineConfig {
+            params,
+            path,
+            summary_half,
+            echo_round: true,
+            max_batch: 1,
+            pipeline_depth,
+            record_decisions: false,
+            test_decide_early: false,
+        }
     }
 }
 
@@ -145,12 +166,16 @@ pub enum Effect {
     /// execution (a replacement node, or a replica that missed a whole
     /// window): the runtime must restore the application to the certified
     /// state at `base` — verified against `app_digest`, so the serving
-    /// peer is not trusted — before executing any later effects.
+    /// peer is not trusted — and feed the donor's request-dedup table back
+    /// via [`Engine::on_exec_table`] (verified against `exec_digest`)
+    /// before executing any later effects.
     StateTransfer {
         /// First slot *not* covered by the transferred state.
         base: Slot,
         /// Certified digest the restored state must match.
         app_digest: Digest,
+        /// Certified digest the transferred dedup table must match.
+        exec_digest: Digest,
     },
     /// A completed join adopted stream positions: the runtime must move its
     /// CTBcast instances to these cursors (the own-stream entry sets the
@@ -172,6 +197,49 @@ pub enum Effect {
         /// Human-readable evidence.
         reason: String,
     },
+}
+
+/// The evidence path that decided a slot — what an omniscient safety
+/// auditor checks against the quorum rules (a fast-path decision takes all
+/// `n` WILL_COMMITs; everything else takes an `f + 1` certificate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionEvidence {
+    /// Decided by the signature-less fast path on `votes` WILL_COMMITs
+    /// (safe only when `votes == n`).
+    FastQuorum {
+        /// WILL_COMMIT votes held at decision time (including our own).
+        votes: usize,
+    },
+    /// Decided by `commits` matching certificate-backed COMMIT broadcasts
+    /// (safe only when `commits >= f + 1`).
+    CommitQuorum {
+        /// Matching COMMITs delivered at decision time.
+        commits: usize,
+    },
+    /// Replayed by a replacement node from a join ack's commit certificate
+    /// (safe only when the certificate carries `shares >= f + 1`).
+    JoinReplay {
+        /// Signature shares in the verified certificate.
+        shares: usize,
+    },
+}
+
+/// One decided slot, as the engine saw it at the moment of decision.
+/// Recorded only when [`EngineConfig::record_decisions`] is set; drained by
+/// the runtime via [`Engine::take_decisions`] and handed to the auditor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// The decided slot.
+    pub slot: Slot,
+    /// The view this replica was in when it decided.
+    pub view: View,
+    /// Content digest of the decided batch.
+    pub batch_digest: Digest,
+    /// This replica's stable checkpoint base at decision time — the
+    /// auditor checks `slot` against the paper's two-window bound from it.
+    pub base: Slot,
+    /// How the decision was reached.
+    pub evidence: DecisionEvidence,
 }
 
 /// Per-peer consensus bookkeeping (Algorithm 2 lines 7–12), interpreted
@@ -413,14 +481,17 @@ pub struct Engine {
     /// Certificates already verified (content digest), to avoid re-metering.
     verified_certs: HashSet<Digest>,
     /// Checkpoint certification shares keyed by (base, app digest).
-    cp_shares: BTreeMap<(Slot, Digest), Certificate>,
+    /// Keyed by the *full* signed data (base, app digest, exec digest):
+    /// shares over different exec tables must never mix into one
+    /// certificate.
+    cp_shares: BTreeMap<(Slot, Digest, Digest), Certificate>,
     /// Checkpoint *data* already proven: assembling our own certificate
     /// from individually verified shares, or verifying any peer's
     /// certificate, proves `(base, app_digest)` once and for all — a
     /// different certificate over the same data adds nothing, so checkpoint
     /// boundaries stop costing every replica two redundant certificate
     /// verifications (the crypto burst that stretched checkpoint gaps).
-    verified_cp_data: HashSet<(Slot, Digest)>,
+    verified_cp_data: HashSet<(Slot, Digest, Digest)>,
     /// Decide counter for the progress watchdog.
     decide_count: u64,
     armed_marker: u64,
@@ -431,6 +502,9 @@ pub struct Engine {
     join: Option<JoinState>,
     /// Proven CTBcast equivocations, one per branded stream.
     equivocations: Vec<(ReplicaId, SeqId)>,
+    /// Decisions recorded for the auditor (only when
+    /// [`EngineConfig::record_decisions`] is set).
+    decisions: Vec<DecisionRecord>,
     ops: CryptoOps,
 }
 
@@ -480,6 +554,7 @@ impl Engine {
             vc_streak: 0,
             join: None,
             equivocations: Vec::new(),
+            decisions: Vec::new(),
             ops: CryptoOps::default(),
         }
     }
@@ -555,6 +630,30 @@ impl Engine {
     /// Drains the crypto-operation meter accumulated since the last call.
     pub fn take_crypto_ops(&mut self) -> CryptoOps {
         std::mem::take(&mut self.ops)
+    }
+
+    /// Drains the decision records accumulated since the last call (always
+    /// empty unless [`EngineConfig::record_decisions`] is set).
+    pub fn take_decisions(&mut self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut self.decisions)
+    }
+
+    /// CTBcast messages sent on our own stream (summary-stall detection).
+    pub fn ctb_sent_count(&self) -> u64 {
+        self.my_ctb_sent
+    }
+
+    /// Highest own-stream CTBcast id covered by a completed summary.
+    pub fn ctb_summarized_upto(&self) -> u64 {
+        self.summary_done_upto
+    }
+
+    /// The summary trigger interval this engine runs with
+    /// ([`EngineConfig::summary_half`]) — the boundary the runtime's
+    /// summary-stall watchdog compares against, read from the engine so
+    /// the two can never drift.
+    pub fn summary_half(&self) -> u64 {
+        self.cfg.summary_half
     }
 
     fn quorum(&self) -> usize {
@@ -655,7 +754,23 @@ impl Engine {
     /// A client request arrived directly at this replica.
     pub fn on_client_request(&mut self, req: Request) -> Vec<Effect> {
         let mut fx = Vec::new();
-        if self.seen_requests.contains_key(&req.id) || self.already_executed(&req.id) {
+        if self.already_executed(&req.id) {
+            // Executed requests are re-answered by the runtime's last-reply
+            // cache; nothing to order again.
+            return fx;
+        }
+        if self.seen_requests.contains_key(&req.id) {
+            // A duplicate receipt means the client timed out and is
+            // retransmitting: our original echo (or the proposal path) may
+            // have been lost to a partition or crash — re-drive it instead
+            // of swallowing the request.
+            if self.is_leader() {
+                self.maybe_enqueue_proposal(req.id);
+                self.propose_ready(&mut fx);
+            } else {
+                let req = self.seen_requests[&req.id].clone();
+                fx.push(Effect::SendReplica { to: self.leader(), msg: DirectMsg::Echo { req } });
+            }
             return fx;
         }
         self.seen_requests.insert(req.id, req.clone());
@@ -942,13 +1057,17 @@ impl Engine {
                 if !c.supersedes(&ps.checkpoint) {
                     return Err("stale checkpoint".into());
                 }
-                let proven = self.verified_cp_data.contains(&(c.data.base, c.data.app_digest));
+                let proven = self.verified_cp_data.contains(&(
+                    c.data.base,
+                    c.data.app_digest,
+                    c.data.exec_digest,
+                ));
                 if !proven
                     && !self.verify_cert(&c.cert.clone(), &c.data.sign_bytes(), self.quorum())
                 {
                     return Err("checkpoint with invalid certificate".into());
                 }
-                self.verified_cp_data.insert((c.data.base, c.data.app_digest));
+                self.verified_cp_data.insert((c.data.base, c.data.app_digest, c.data.exec_digest));
                 Ok(())
             }
             CtbMsg::SealView { view } => {
@@ -1116,14 +1235,23 @@ impl Engine {
                 }
                 let entry = self.slots.entry(slot).or_default();
                 entry.will_commit.insert(from);
-                if entry.will_commit.len() == self.n() {
+                let votes = entry.will_commit.len();
+                // Algorithm 2: the signature-less fast path decides only on
+                // *unanimity*. The test_decide_early mutation hook skips
+                // that check so the auditor's coverage invariant can be
+                // demonstrated to catch the resulting unsafe decision.
+                if votes == self.n() || (self.cfg.test_decide_early && votes >= 1) {
                     let leader_prep = self
                         .state
                         .get(&view.leader(self.n()))
                         .and_then(|ps| ps.prepares.get(&slot))
                         .cloned();
                     if let Some(prep) = leader_prep {
-                        fx.extend(self.decide(slot, prep.batch));
+                        fx.extend(self.decide(
+                            slot,
+                            prep.batch,
+                            DecisionEvidence::FastQuorum { votes },
+                        ));
                     }
                 }
             }
@@ -1178,6 +1306,17 @@ impl Engine {
         if from != self.me && !self.verify(from, &prepare.certify_bytes(), &sig) {
             return fx;
         }
+        // A peer soliciting the slow path recruits us into it, even for a
+        // slot we already decided on the fast path: a fast-path decider
+        // holds no certificate and its slow trigger skips decided slots,
+        // so without this share the peer could be one signature short of
+        // `f + 1` forever (the chaos explorer found exactly that — a
+        // crashed third replica left a view-changing peer stuck
+        // discharging its WILL_COMMIT promise, while the decided replica
+        // idled).
+        if self.cfg.path != PathMode::FastOnly {
+            fx.extend(self.start_slow_path(slot));
+        }
         let q = self.quorum();
         let entry = self.slots.entry(slot).or_default();
         entry.cert.add(ProcessId::Replica(from), sig);
@@ -1230,17 +1369,30 @@ impl Engine {
         }
         let entry = self.slots.entry(slot).or_default();
         entry.commit_from.insert(stream);
-        if entry.commit_from.len() >= self.quorum() {
+        let commits = entry.commit_from.len();
+        if commits >= self.quorum() || (self.cfg.test_decide_early && commits >= 1) {
             let batch = c.prepare.batch.clone();
-            fx.extend(self.decide(slot, batch));
+            fx.extend(self.decide(slot, batch, DecisionEvidence::CommitQuorum { commits }));
         }
     }
 
-    fn decide(&mut self, slot: Slot, batch: Batch) -> Vec<Effect> {
+    fn decide(&mut self, slot: Slot, batch: Batch, evidence: DecisionEvidence) -> Vec<Effect> {
         let mut fx = Vec::new();
+        let view = self.view;
+        let base = self.checkpoint.data.base;
+        let record = self.cfg.record_decisions;
         let entry = self.slots.entry(slot).or_default();
         if entry.decided.is_some() {
             return fx;
+        }
+        if record {
+            self.decisions.push(DecisionRecord {
+                slot,
+                view,
+                batch_digest: batch.digest(),
+                base,
+                evidence,
+            });
         }
         // `decide_count` counts individual requests, not slots, so batching
         // leaves the progress-watchdog and throughput accounting comparable
@@ -1301,19 +1453,66 @@ impl Engine {
     // Checkpoints
     // ------------------------------------------------------------------
 
+    /// The request-dedup table (highest executed sequence per client) in
+    /// canonical (sorted) order — identical on every correct replica at a
+    /// given execution frontier, which is what lets checkpoints certify it.
+    pub fn exec_table(&self) -> Vec<(ubft_types::ClientId, u64)> {
+        let mut table: Vec<_> = self.last_exec_seq.iter().map(|(c, s)| (*c, *s)).collect();
+        table.sort_unstable_by_key(|(c, _)| c.0);
+        table
+    }
+
     /// The runtime reports the application digest after applying every slot
-    /// `< base`.
-    pub fn on_snapshot(&mut self, base: Slot, app_digest: Digest) -> Vec<Effect> {
+    /// `< base`, together with the digest of the dedup table captured at
+    /// the same instant ([`crate::msg::exec_table_digest`]).
+    pub fn on_snapshot(
+        &mut self,
+        base: Slot,
+        app_digest: Digest,
+        exec_digest: Digest,
+    ) -> Vec<Effect> {
         let mut fx = Vec::new();
         if self.snapshot_pending != Some(base) {
             return fx;
         }
         self.snapshot_pending = None;
-        let data = CheckpointData { base, app_digest };
+        let data = CheckpointData { base, app_digest, exec_digest };
         let sig = self.sign(&data.sign_bytes());
         fx.push(Effect::TbBroadcast(TbMsg::CertifyCheckpoint { data, sig }));
         // Our own share participates too.
         fx.extend(self.handle_checkpoint_share(self.me, data, sig));
+        fx
+    }
+
+    /// A state transfer delivered the donor's request-dedup table for the
+    /// checkpoint at `base`. Adopted only when it hashes to the *certified*
+    /// [`CheckpointData::exec_digest`] (the donor is untrusted). Adoption
+    /// also prunes request bookkeeping the table proves executed — without
+    /// this, a replacement node keeps long-completed requests `outstanding`
+    /// forever, its progress watchdog spirals through views, and it ends
+    /// up isolated (a cascade the chaos explorer found).
+    pub fn on_exec_table(
+        &mut self,
+        base: Slot,
+        table: Vec<(ubft_types::ClientId, u64)>,
+    ) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if self.checkpoint.data.base != base
+            || crate::msg::exec_table_digest(&table) != self.checkpoint.data.exec_digest
+        {
+            return fx;
+        }
+        for (client, seq) in table {
+            let hi = self.last_exec_seq.entry(client).or_insert(0);
+            *hi = (*hi).max(seq);
+        }
+        self.seen_requests
+            .retain(|id, _| id.seq >= *self.last_exec_seq.get(&id.client).unwrap_or(&0));
+        self.outstanding
+            .retain(|id, _| id.seq >= *self.last_exec_seq.get(&id.client).unwrap_or(&0));
+        self.propose_queue
+            .retain(|req| req.id.seq >= *self.last_exec_seq.get(&req.id.client).unwrap_or(&0));
+        self.propose_ready(&mut fx);
         fx
     }
 
@@ -1331,12 +1530,13 @@ impl Engine {
             return fx;
         }
         let quorum = self.quorum();
-        let entry = self.cp_shares.entry((data.base, data.app_digest)).or_default();
+        let entry =
+            self.cp_shares.entry((data.base, data.app_digest, data.exec_digest)).or_default();
         entry.add(ProcessId::Replica(from), sig);
         if entry.count() >= quorum {
             let cert = entry.clone();
             self.note_own_cert(&cert, &data.sign_bytes());
-            self.verified_cp_data.insert((data.base, data.app_digest));
+            self.verified_cp_data.insert((data.base, data.app_digest, data.exec_digest));
             let cp = CheckpointCert { data, cert };
             // adopt_checkpoint announces the adoption on our stream before
             // any proposal into the freshly opened window.
@@ -1371,16 +1571,20 @@ impl Engine {
         let base = c.data.base;
         // Forget decided state below the checkpoint (finite memory!).
         self.slots.retain(|s, _| *s >= base);
-        self.cp_shares.retain(|(b, _), _| *b > base);
-        self.verified_cp_data.retain(|(b, _)| *b >= base);
+        self.cp_shares.retain(|(b, _, _), _| *b > base);
+        self.verified_cp_data.retain(|(b, _, _)| *b >= base);
         // Drop request bookkeeping for requests decided below the base.
         if self.exec_next < base {
             // We missed decided slots below the certified base (a
             // replacement node, or a replica that lost a whole window):
             // local replay cannot reach this state, so ask the runtime for
-            // a snapshot transfer — verified against the certified digest,
+            // a snapshot transfer — verified against the certified digests,
             // so the serving peer is not trusted — then resume from `base`.
-            fx.push(Effect::StateTransfer { base, app_digest: c.data.app_digest });
+            fx.push(Effect::StateTransfer {
+                base,
+                app_digest: c.data.app_digest,
+                exec_digest: c.data.exec_digest,
+            });
             self.exec_next = base;
             self.snapshot_pending = None;
         }
@@ -1523,6 +1727,11 @@ impl Engine {
                     ps.fifo_next
                 },
                 view: if *stream == self.me { self.view } else { ps.view },
+                next_free: if *stream == self.me {
+                    self.next_slot
+                } else {
+                    ps.prepares.keys().max().map_or(Slot(0), |s| s.next())
+                },
                 checkpoint: if ps.checkpoint.data.base > Slot(0) {
                     Some(ps.checkpoint.clone())
                 } else {
@@ -1597,6 +1806,12 @@ impl Engine {
                 };
                 fifo = fifo.max(js.fifo_next);
                 sview = sview.max(js.view);
+                if stream == self.me {
+                    // Resume proposing past everything our predecessor
+                    // prepared: a second PREPARE for one of its slots in
+                    // the same view reads as equivocation and brands us.
+                    self.next_slot = self.next_slot.max(js.next_free);
+                }
                 if let Some(c) = &js.checkpoint {
                     if cp.as_ref().is_none_or(|old| c.supersedes(old)) {
                         cp = Some(c.clone());
@@ -1607,11 +1822,14 @@ impl Engine {
             // membership), so verify their certificates before trusting
             // (once per distinct checkpoint data).
             let cp = cp.filter(|c| {
-                self.verified_cp_data.contains(&(c.data.base, c.data.app_digest))
-                    || self.verify_cert(&c.cert.clone(), &c.data.sign_bytes(), self.quorum())
+                self.verified_cp_data.contains(&(
+                    c.data.base,
+                    c.data.app_digest,
+                    c.data.exec_digest,
+                )) || self.verify_cert(&c.cert.clone(), &c.data.sign_bytes(), self.quorum())
             });
             if let Some(c) = &cp {
-                self.verified_cp_data.insert((c.data.base, c.data.app_digest));
+                self.verified_cp_data.insert((c.data.base, c.data.app_digest, c.data.exec_digest));
             }
             if stream == self.me {
                 // Our own broadcast cursor: past everything any peer
@@ -1688,8 +1906,9 @@ impl Engine {
                 entry.prepare = Some(c.prepare.clone());
             }
             entry.commit_from.insert(c.prepare.view.leader(self.cfg.params.n()));
+            let shares = c.cert.count();
             let batch = c.prepare.batch.clone();
-            fx.extend(self.decide(slot, batch));
+            fx.extend(self.decide(slot, batch, DecisionEvidence::JoinReplay { shares }));
         }
 
         // Go live: flush whatever queued during the join and interpret any
@@ -1710,9 +1929,21 @@ impl Engine {
     /// The progress watchdog fired.
     pub fn on_progress_timeout(&mut self) -> Vec<Effect> {
         let mut fx = Vec::new();
-        if self.join.is_some() {
+        if let Some(join) = &self.join {
             // A half-initialized replacement must not seal views; its acks
-            // are in flight, and peers make progress without it.
+            // are in flight, and peers make progress without it. It must
+            // however *re-announce* itself to peers that have not acked:
+            // the original Join is a one-shot direct message, so a
+            // partition that eats it would otherwise stall the join
+            // forever (a liveness hole the chaos explorer found — a
+            // replacement booting inside a partition never went live, and
+            // a later crash of another replica then stalled the group).
+            let reg_floor = join.reg_floor;
+            for peer in self.cfg.params.replicas().filter(|r| *r != self.me) {
+                if !join.acks.contains_key(&peer) {
+                    fx.push(Effect::SendReplica { to: peer, msg: DirectMsg::Join { reg_floor } });
+                }
+            }
             fx.push(Effect::ArmTimer { kind: TimerKind::Progress });
             return fx;
         }

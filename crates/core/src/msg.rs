@@ -226,6 +226,13 @@ pub struct CheckpointData {
     pub base: Slot,
     /// Digest of the application state after applying slots `< base`.
     pub app_digest: Digest,
+    /// Digest of the request-dedup table (highest executed client sequence
+    /// per client) after applying slots `< base`. Deterministic across
+    /// correct replicas, and *decision-relevant*: a replacement node that
+    /// adopts a certified state without this table could re-execute (or
+    /// wrongly skip) a request re-proposed across the checkpoint — so it
+    /// is certified and transferred alongside the application state.
+    pub exec_digest: Digest,
 }
 
 impl CheckpointData {
@@ -237,13 +244,29 @@ impl CheckpointData {
     }
 }
 
+/// Canonical digest of a request-dedup table (sorted highest-executed
+/// sequence per client), as certified by [`CheckpointData::exec_digest`].
+pub fn exec_table_digest(table: &[(ClientId, u64)]) -> Digest {
+    let mut buf = b"ubft-exec-table\0".to_vec();
+    for (client, seq) in table {
+        buf.extend_from_slice(&client.0.to_le_bytes());
+        buf.extend_from_slice(&seq.to_le_bytes());
+    }
+    sha256(&buf)
+}
+
 impl Wire for CheckpointData {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.base.encode(buf);
         self.app_digest.encode(buf);
+        self.exec_digest.encode(buf);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
-        Ok(CheckpointData { base: Slot::decode(r)?, app_digest: Digest::decode(r)? })
+        Ok(CheckpointData {
+            base: Slot::decode(r)?,
+            app_digest: Digest::decode(r)?,
+            exec_digest: Digest::decode(r)?,
+        })
     }
 }
 
@@ -261,7 +284,11 @@ impl CheckpointCert {
     /// convention, Algorithm 2 line 6).
     pub fn genesis() -> Self {
         CheckpointCert {
-            data: CheckpointData { base: Slot(0), app_digest: Digest::ZERO },
+            data: CheckpointData {
+                base: Slot(0),
+                app_digest: Digest::ZERO,
+                exec_digest: Digest::ZERO,
+            },
             cert: Certificate::new(),
         }
     }
@@ -541,6 +568,13 @@ pub struct JoinStream {
     pub fifo_next: SeqId,
     /// The view the responder last saw this stream enter.
     pub view: View,
+    /// First slot the responder has seen no `PREPARE` from this stream
+    /// for: a replacement *leader* must resume proposing here, not at its
+    /// fresh engine's slot 0 — re-preparing a slot its predecessor already
+    /// prepared in the same view is indistinguishable from equivocation
+    /// and gets the replacement branded Byzantine. Liveness-steering only
+    /// (a lie can delay proposals, never decide anything).
+    pub next_free: Slot,
     /// The latest checkpoint the responder saw certified on this stream
     /// (`None` if still at genesis).
     pub checkpoint: Option<CheckpointCert>,
@@ -551,6 +585,7 @@ impl Wire for JoinStream {
         self.stream.encode(buf);
         self.fifo_next.encode(buf);
         self.view.encode(buf);
+        self.next_free.encode(buf);
         self.checkpoint.encode(buf);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
@@ -558,6 +593,7 @@ impl Wire for JoinStream {
             stream: ReplicaId::decode(r)?,
             fifo_next: SeqId::decode(r)?,
             view: View::decode(r)?,
+            next_free: Slot::decode(r)?,
             checkpoint: Option::<CheckpointCert>::decode(r)?,
         })
     }
@@ -789,12 +825,14 @@ mod tests {
                     stream: ReplicaId(0),
                     fifo_next: SeqId(41),
                     view: View(2),
+                    next_free: Slot(40),
                     checkpoint: Some(CheckpointCert::genesis()),
                 },
                 JoinStream {
                     stream: ReplicaId(1),
                     fifo_next: SeqId(1),
                     view: View(0),
+                    next_free: Slot(0),
                     checkpoint: None,
                 },
             ],
@@ -816,7 +854,8 @@ mod tests {
     fn sign_bytes_domain_separation() {
         let p = prepare();
         assert_ne!(p.certify_bytes(), p.to_bytes());
-        let cp = CheckpointData { base: Slot(1), app_digest: Digest::ZERO };
+        let cp =
+            CheckpointData { base: Slot(1), app_digest: Digest::ZERO, exec_digest: Digest::ZERO };
         assert_ne!(cp.sign_bytes(), cp.to_bytes());
         let d = Digest::ZERO;
         assert_ne!(

@@ -33,7 +33,9 @@ struct Net {
     brands: Vec<(usize, u32)>,
     /// Latest checkpoint snapshot per replica: (base, digest, app bytes) —
     /// what a replacement node's state transfer is served from.
-    snapshots: Vec<Option<(Slot, ubft_crypto::Digest, Vec<u8>)>>,
+    /// `(base, app digest, app bytes, exec table)` per replica.
+    #[allow(clippy::type_complexity)]
+    snapshots: Vec<Option<(Slot, ubft_crypto::Digest, Vec<u8>, Vec<(ClientId, u64)>)>>,
     /// Pending effect queue: (origin replica, effect).
     queue: VecDeque<(usize, Effect)>,
 }
@@ -130,24 +132,30 @@ impl Net {
                 }
                 Effect::RequestSnapshot { base } => {
                     let digest = self.apps[who].snapshot_digest();
-                    self.snapshots[who] = Some((base, digest, self.apps[who].snapshot_bytes()));
-                    let fx = self.engines[who].on_snapshot(base, digest);
+                    let table = self.engines[who].exec_table();
+                    let exec_digest = ubft_core::msg::exec_table_digest(&table);
+                    self.snapshots[who] =
+                        Some((base, digest, self.apps[who].snapshot_bytes(), table));
+                    let fx = self.engines[who].on_snapshot(base, digest, exec_digest);
                     self.enqueue(who, fx);
                 }
-                Effect::StateTransfer { base, app_digest } => {
+                Effect::StateTransfer { base, app_digest, exec_digest } => {
                     // Serve the transfer from any live peer's retained
                     // checkpoint snapshot, verified against the certified
-                    // digest (the runtime does exactly this).
+                    // digests (the runtime does exactly this).
                     let donor = (0..self.n()).find(|r| {
                         !self.crashed[*r]
                             && self.snapshots[*r]
                                 .as_ref()
-                                .is_some_and(|(b, d, _)| *b == base && *d == app_digest)
+                                .is_some_and(|(b, d, _, _)| *b == base && *d == app_digest)
                     });
-                    let (_, _, bytes) =
+                    let (_, _, bytes, table) =
                         self.snapshots[donor.expect("a live donor snapshot")].clone().unwrap();
                     self.apps[who].restore_bytes(&bytes);
                     assert_eq!(self.apps[who].snapshot_digest(), app_digest);
+                    assert_eq!(ubft_core::msg::exec_table_digest(&table), exec_digest);
+                    let fx = self.engines[who].on_exec_table(base, table);
+                    self.enqueue(who, fx);
                 }
                 Effect::AdoptStreams { tails } => {
                     // The harness's only transport cursor is the per-stream

@@ -385,6 +385,31 @@ impl Ctb {
         vec![CtbEffect::Sign { k, fp }]
     }
 
+    /// Forces the slow path for `k` *even if we fast-delivered it
+    /// ourselves* (broadcaster only; no-op when the slow path is disabled
+    /// or already requested). The broadcaster's fast delivery only proves
+    /// that *it* collected every `LOCKED` echo; a receiver whose unanimity
+    /// was broken by a crashed peer still waits, and if the broadcaster
+    /// never signs, neither the fast nor the slow path can ever deliver to
+    /// it — and the CTBcast *summary* that would repair the gap deadlocks
+    /// too, because it needs the stuck receiver's own share. The runtime
+    /// calls this for the unsummarized tail when a summary boundary stays
+    /// uncertified suspiciously long.
+    pub fn force_slow(&mut self, k: SeqId) -> Vec<CtbEffect> {
+        if self.me != self.stream
+            || self.cfg.slow == SlowMode::Never
+            || self.sign_requested.contains(&k.0)
+        {
+            return Vec::new();
+        }
+        let Some(m) = self.my_broadcasts.get(&k.0) else {
+            return Vec::new(); // out of tail already
+        };
+        let fp = fingerprint(m);
+        self.sign_requested.insert(k.0);
+        vec![CtbEffect::Sign { k, fp }]
+    }
+
     /// The crypto pool finished signing `(stream, k, fp)`.
     pub fn on_sign_done(&mut self, k: SeqId, sig: Signature) -> Vec<CtbEffect> {
         let Some(m) = self.my_broadcasts.get(&k.0).cloned() else {

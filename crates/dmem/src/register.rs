@@ -212,6 +212,11 @@ impl RegisterWriter {
             match fabric.write(issuer, *tok, *region, offset, &frame, start) {
                 Ok(ticket) => completions.push(ticket.completion),
                 Err(RdmaError::TargetUnavailable) => {} // crashed node: no completion
+                // A δ-cooldown-deferred write can start *after* the
+                // issuer's own crash (its start time is in the future);
+                // the dead issuer's outcome is irrelevant — its
+                // continuation events are dropped by the crash checks.
+                Err(RdmaError::IssuerUnavailable) => {}
                 Err(e) => panic!("register write failed: {e}"),
             }
         }
@@ -306,6 +311,11 @@ impl RegisterReader {
             match fabric.read(issuer, *region, 0, r.reg_size(), now) {
                 Ok(ticket) => node_reads.push((ticket.completion, ticket.data)),
                 Err(RdmaError::TargetUnavailable) => {}
+                // A retry after an overlapping write re-issues at its
+                // future completion time, which can land past the issuer's
+                // own scheduled crash; the dead issuer's read outcome is
+                // irrelevant (its continuation events are dropped).
+                Err(RdmaError::IssuerUnavailable) => {}
                 Err(e) => panic!("register read failed: {e}"),
             }
         }

@@ -7,10 +7,13 @@
 //! far above common-case latency so they never fire in failure-free runs.
 
 use ubft_core::PathMode;
+use ubft_sim::chaos::ChaosPlan;
 use ubft_sim::cost::CostModel;
 use ubft_sim::failure::FailurePlan;
 use ubft_sim::net::LatencyModel;
 use ubft_types::{ClusterParams, Duration, Time};
+
+use crate::audit::AuditMutation;
 
 /// Full configuration of one simulated experiment.
 #[derive(Clone, Debug)]
@@ -70,6 +73,14 @@ pub struct SimConfig {
     /// group-local. The scalar [`SimConfig::failures`] plan addresses
     /// shard 0 (so single-group configurations behave unchanged).
     pub shard_failures: Vec<(usize, FailurePlan)>,
+    /// Whether the omniscient safety [`Auditor`](crate::audit::Auditor)
+    /// observes the run ([`SimConfig::with_audit`]). Off by default: an
+    /// unaudited run records nothing and stays bit-for-bit historical.
+    pub audit: bool,
+    /// Deliberately injected bug for auditor self-tests
+    /// ([`SimConfig::with_audit_mutation`]); never set in production
+    /// configurations.
+    pub audit_mutation: Option<AuditMutation>,
 }
 
 impl SimConfig {
@@ -100,6 +111,8 @@ impl SimConfig {
             pipeline_depth: None,
             shards: 1,
             shard_failures: Vec::new(),
+            audit: false,
+            audit_mutation: None,
         }
     }
 
@@ -216,6 +229,47 @@ impl SimConfig {
     #[must_use]
     pub fn with_shard_failures(mut self, shard: usize, plan: FailurePlan) -> Self {
         self.shard_failures.push((shard, plan));
+        self
+    }
+
+    /// Enables the omniscient safety auditor: every decision, execution,
+    /// and checkpoint of the run is checked online against uBFT's safety
+    /// invariants (see [`crate::audit`]), and the verdict is attached to
+    /// the run's report ([`RunReport::audit`](crate::RunReport)).
+    /// Auditing observes only — an audited run is bit-for-bit identical
+    /// to an unaudited one.
+    #[must_use]
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
+
+    /// Injects a deliberate bug for auditor self-tests (implies
+    /// [`SimConfig::with_audit`]): mutation tests assert the auditor
+    /// catches the damage. Never use outside tests.
+    #[must_use]
+    pub fn with_audit_mutation(mut self, mutation: AuditMutation) -> Self {
+        self.audit = true;
+        self.audit_mutation = Some(mutation);
+        self
+    }
+
+    /// Applies a generated [`ChaosPlan`]: group 0's faults (and the
+    /// deployment-global asynchrony phase) become [`SimConfig::failures`],
+    /// every other group's faults become [`SimConfig::with_shard_failures`]
+    /// entries, and the shard count is raised to cover every addressed
+    /// group. Chaos runs are exactly the fault plans a hand-written test
+    /// would build — a printed plan reproduces byte for byte.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: &ChaosPlan) -> Self {
+        self.shards = self.shards.max(plan.max_group() + 1);
+        self.failures = plan.group_plan(0);
+        for g in 1..self.shards {
+            let gp = plan.group_plan(g);
+            if !gp.faults().is_empty() {
+                self.shard_failures.push((g, gp));
+            }
+        }
         self
     }
 

@@ -75,6 +75,10 @@ pub struct RunReport {
     pub end: Time,
     /// Final view of each replica.
     pub views: Vec<View>,
+    /// The safety auditor's verdict, when the run was configured with
+    /// [`SimConfig::with_audit`]; `None` otherwise. Violations are data,
+    /// not panics — tests assert `is_clean()`, the chaos explorer shrinks.
+    pub audit: Option<crate::audit::AuditReport>,
 }
 
 /// A full single-group uBFT cluster simulation.
@@ -174,7 +178,8 @@ impl Cluster {
     /// time exceeds `deadline`, so stalls are observable instead of fatal.
     pub fn run_until(&mut self, requests: u64, warmup: u64, deadline: Time) -> RunReport {
         self.dep.run_loop(requests, warmup, deadline);
-        self.dep.aggregate_report()
+        let audit = self.dep.audit_report();
+        self.dep.aggregate_report(audit)
     }
 
     /// Drains in-flight work for `extra` more virtual time after a run:
@@ -192,6 +197,14 @@ impl Cluster {
     /// the fault plan schedules replacements).
     pub fn replica_snapshot_bytes(&self, r: usize) -> usize {
         self.dep.groups[0].replica_snapshot_bytes(r)
+    }
+
+    /// The safety auditor's verdict over everything observed so far
+    /// (`None` unless the run was configured with
+    /// [`SimConfig::with_audit`]). Idempotent; call again after
+    /// [`Cluster::settle`] to audit the drained tail too.
+    pub fn audit_report(&mut self) -> Option<crate::audit::AuditReport> {
+        self.dep.audit_report()
     }
 }
 
@@ -370,6 +383,42 @@ mod tests {
         let degenerate =
             run(SimConfig::paper_default(21).fast_only().with_batch(1).with_pipeline_depth(1));
         assert_eq!(seed_like, degenerate);
+    }
+
+    #[test]
+    fn audited_run_is_clean_and_bit_identical_to_unaudited() {
+        let run = |audit: bool| {
+            let mut cfg = SimConfig::paper_default(42).fast_only();
+            if audit {
+                cfg = cfg.with_audit();
+            }
+            let mut cluster = Cluster::new(cfg, flip_apps(3), payload32());
+            let report = cluster.run(100, 10);
+            let digests: Vec<_> = (0..3).map(|r| cluster.app_digest(r)).collect();
+            (report.counters, report.completed, report.end, digests, report.audit)
+        };
+        let (c0, n0, e0, d0, a0) = run(false);
+        let (c1, n1, e1, d1, a1) = run(true);
+        // The auditor observes; it must never perturb the run.
+        assert_eq!((c0, n0, e0, d0), (c1, n1, e1, d1));
+        assert!(a0.is_none());
+        let audit = a1.expect("audited run carries a report");
+        assert!(audit.is_clean(), "violations: {:#?}", audit.violations);
+        // Every replica decided every slot; every decision was checked.
+        assert!(audit.decisions_checked >= 3 * 110, "{}", audit.decisions_checked);
+        assert!(audit.executions_checked >= 3 * 110, "{}", audit.executions_checked);
+        assert_eq!(audit.replicas_compared, 3);
+        assert!(audit.model_slots_replayed >= 110);
+    }
+
+    #[test]
+    fn audited_slow_path_checks_certificate_evidence() {
+        let cfg = SimConfig::paper_default(43).slow_only().with_audit();
+        let mut cluster = Cluster::new(cfg, flip_apps(3), payload32());
+        let report = cluster.run(50, 5);
+        let audit = report.audit.expect("audited");
+        assert!(audit.is_clean(), "violations: {:#?}", audit.violations);
+        assert!(audit.decisions_checked >= 3 * 55);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use ubft_transport::channel::{create_channel, ChannelReceiver, ChannelSender, Ch
 use ubft_types::wire::Wire;
 use ubft_types::{ClientId, Duration, ProcessId, ReplicaId, SeqId, Slot, Time, View};
 
+use crate::audit::{AuditMutation, AuditReport, Auditor};
 use crate::calibration::SimConfig;
 use crate::cluster::{OpCounters, RunReport};
 use crate::node::{ReplicaNode, SNAPSHOT_RETAIN};
@@ -97,6 +98,15 @@ pub(crate) enum Ev {
     ClientIssue {
         c: usize,
     },
+    /// Client retransmission check: if request `id` is still in flight at
+    /// client `c`, re-send it to every replica and re-arm. A request or
+    /// reply lost to a partition/crash must not stall the closed loop —
+    /// replicas deduplicate, and executed requests are re-answered from
+    /// the per-replica last-reply cache.
+    ClientRetry {
+        c: usize,
+        id: ubft_types::RequestId,
+    },
     /// Periodic TBcast retransmission tick for replica `r` (§4.2: the
     /// broadcaster retransmits its buffered tail until acknowledged).
     Retransmit {
@@ -138,6 +148,14 @@ fn workload_retry() -> Duration {
     Duration::from_micros(5)
 }
 
+/// Client retransmission timeout: far above every healthy completion (fast
+/// path ~11 µs, forced slow path hundreds of µs), so failure-free runs
+/// never retransmit; short enough that a lost message costs milliseconds,
+/// not the run.
+fn client_retry_period() -> Duration {
+    Duration::from_micros(1_500)
+}
+
 struct Chan {
     tx: ChannelSender,
     rx: ChannelReceiver,
@@ -154,12 +172,15 @@ pub(crate) struct RunCtl {
 }
 
 /// The deployment-wide mutable context a group borrows while handling one
-/// event: the shared fabric, the shared (group-tagged) event queue, and
-/// the global run control.
+/// event: the shared fabric, the shared (group-tagged) event queue, the
+/// global run control, and (when enabled) the omniscient safety auditor.
 pub(crate) struct Shared<'a> {
     pub fabric: &'a mut Fabric,
     pub events: &'a mut EventQueue<GroupEv>,
     pub ctl: &'a mut RunCtl,
+    /// `None` when auditing is off — the hooks below are then no-ops, so
+    /// unaudited runs stay bit-for-bit identical to historical behaviour.
+    pub audit: &'a mut Option<Auditor>,
 }
 
 /// One consensus group: `2f + 1` [`ReplicaNode`]s, their lanes, their
@@ -239,7 +260,7 @@ impl GroupRuntime {
 
         // Engines.
         let engines: Vec<Engine> = (0..n as u32)
-            .map(|i| Engine::new(ReplicaId(i), engine_config(&cfg), ring.clone()))
+            .map(|i| Engine::new(ReplicaId(i), engine_config(&cfg, i as usize), ring.clone()))
             .collect();
 
         // CTBcast instances per replica: one per stream.
@@ -366,10 +387,14 @@ impl GroupRuntime {
             .map(|i| Client::new(ClientId(i), replica_ids.clone(), cfg.params.quorum()))
             .collect();
 
-        // Replacement support costs nothing unless the plan schedules one:
-        // only then do nodes retain checkpoint snapshots and the genesis
-        // state (for resetting a replacement's app before its transfer).
-        let keep_snapshots = cfg.failures.replacements().next().is_some();
+        // Checkpoint snapshots are retained whenever the plan schedules
+        // *any* fault or an asynchronous prefix — not just replacements: a
+        // replica that misses a whole window behind a partition or pre-GST
+        // delays heals through the same certified state transfer, and
+        // without a retained donor snapshot it would silently fast-forward
+        // with diverged state (the chaos auditor caught exactly that).
+        // Failure-free runs still pay nothing.
+        let keep_snapshots = !cfg.failures.faults().is_empty() || cfg.failures.gst > Time::ZERO;
         let genesis_snapshot = if keep_snapshots { apps[0].snapshot_bytes() } else { Vec::new() };
 
         let nodes: Vec<ReplicaNode> = engines
@@ -391,6 +416,8 @@ impl GroupRuntime {
                 deferred_fx: 0,
                 deferred_until: Time::ZERO,
                 epoch: 0,
+                summary_stall_ticks: 0,
+                reply_cache: HashMap::new(),
             })
             .collect();
 
@@ -502,27 +529,38 @@ impl GroupRuntime {
     /// and verified against the certified `app_digest` — the donor is not
     /// trusted. Models the transfer as a bulk fabric fetch: the receiving
     /// core is busy for the bytes' worst-case wire time.
-    fn state_transfer(&mut self, r: usize, base: Slot, app_digest: ubft_crypto::Digest, at: Time) {
+    fn state_transfer(
+        &mut self,
+        sh: &mut Shared<'_>,
+        r: usize,
+        base: Slot,
+        app_digest: ubft_crypto::Digest,
+        exec_digest: ubft_crypto::Digest,
+        at: Time,
+    ) {
         if base == Slot(0) {
             return; // genesis: the replacement already boots with it
         }
+        let matches = |s: &crate::node::Snapshot| {
+            s.base == base
+                && s.app_digest == app_digest
+                && ubft_core::msg::exec_table_digest(&s.exec_table) == exec_digest
+        };
         let donor = (0..self.nodes.len()).find(|q| {
-            *q != r
-                && !self.nodes[*q].crashed
-                && self.nodes[*q].snapshots.iter().any(|(b, d, _)| *b == base && *d == app_digest)
+            *q != r && !self.nodes[*q].crashed && self.nodes[*q].snapshots.iter().any(matches)
         });
         let Some(q) = donor else {
             // No donor (possible only when snapshots are not retained, or
             // after extreme lag): fall back to the historical fast-forward
             // and surface the divergence risk in diagnostics.
-            self.transfer_misses += 1;
+            self.note_transfer_miss(sh, r);
             return;
         };
-        let bytes = self.nodes[q]
+        let (bytes, table) = self.nodes[q]
             .snapshots
             .iter()
-            .find(|(b, d, _)| *b == base && *d == app_digest)
-            .map(|(_, _, bytes)| bytes.clone())
+            .find(|s| matches(s))
+            .map(|s| (s.app_bytes.clone(), s.exec_table.clone()))
             .expect("donor just matched");
         let cost = self.cfg.latency.worst_case(bytes.len());
         self.nodes[r].app.restore_bytes(&bytes);
@@ -530,10 +568,30 @@ impl GroupRuntime {
         // *certified* digest, or the transfer is treated as missed (the
         // next checkpoint retries from another donor).
         if self.nodes[r].app.snapshot_digest() != app_digest {
-            self.transfer_misses += 1;
+            self.note_transfer_miss(sh, r);
             return;
         }
+        // A successful transfer puts the replica back on certified state:
+        // the auditor can vouch for it again even if an earlier transfer
+        // missed.
+        if let Some(aud) = sh.audit.as_mut() {
+            aud.on_transfer_restored(self.gid as usize, r);
+        }
         let _ = self.charge(r, at, cost);
+        // Hand the certified dedup table to the engine (it re-verifies
+        // against the checkpoint's exec_digest and prunes bookkeeping the
+        // table proves executed).
+        self.engine_call(sh, r, at, |e| e.on_exec_table(base, table));
+    }
+
+    /// Records a state transfer that found no (verifiable) donor snapshot:
+    /// diagnostics surface the divergence risk, and the auditor stops
+    /// vouching for that replica's application state.
+    fn note_transfer_miss(&mut self, sh: &mut Shared<'_>, r: usize) {
+        self.transfer_misses += 1;
+        if let Some(aud) = sh.audit.as_mut() {
+            aud.on_transfer_miss(self.gid as usize, r);
+        }
     }
 
     /// Boots the replacement node for crashed replica `r` on the freshly
@@ -555,6 +613,9 @@ impl GroupRuntime {
         let n = self.n();
         let n_clients = self.n_clients();
         self.hosts[r] = new_host;
+        if let Some(aud) = sh.audit.as_mut() {
+            aud.on_replace(self.gid as usize, r);
+        }
 
         // Fresh channels for every lane touching r, in both directions
         // (the old node's sender cursors and in-flight slots died with
@@ -625,7 +686,8 @@ impl GroupRuntime {
             PathMode::FastWithFallback => CtbConfig::deployed(n, self.cfg.params.tail),
         };
         let node = &mut self.nodes[r];
-        node.engine = Engine::new(ReplicaId(r as u32), engine_config(&self.cfg), self.ring.clone());
+        node.engine =
+            Engine::new(ReplicaId(r as u32), engine_config(&self.cfg, r), self.ring.clone());
         node.ctbs = (0..n)
             .map(|s| {
                 Ctb::new(
@@ -654,6 +716,8 @@ impl GroupRuntime {
         node.epoch += 1;
         node.deferred_fx = 0;
         node.deferred_until = Time::ZERO;
+        node.summary_stall_ticks = 0;
+        node.reply_cache.clear();
 
         // Step 1 of the join: recover the own-stream tail high-water mark
         // directly from the memory nodes (no replica trusted) — every
@@ -718,6 +782,12 @@ impl GroupRuntime {
     /// planned).
     pub(crate) fn replica_snapshot_bytes(&self, r: usize) -> usize {
         self.nodes[r].snapshot_bytes()
+    }
+
+    /// Checkpoint snapshots replica `r` currently retains (the auditor
+    /// checks the count against its cap).
+    pub(crate) fn snapshot_count(&self, r: usize) -> usize {
+        self.nodes[r].snapshots.len()
     }
 
     /// Approximate replica-local resident bytes of replica `r`: channel
@@ -815,6 +885,14 @@ impl GroupRuntime {
         fx: Vec<Effect>,
         ops: CryptoOps,
     ) {
+        // Hand freshly recorded decisions to the auditor *before* their
+        // Execute effects run, so coverage lookups find the evidence. The
+        // engine records nothing unless auditing is on.
+        if let Some(aud) = sh.audit.as_mut() {
+            for rec in self.nodes[r].engine.take_decisions() {
+                aud.on_decision(self.gid as usize, r, rec);
+            }
+        }
         self.counters.engine_signs += ops.signs as u64;
         self.counters.engine_verifies += ops.verifies as u64;
         // The event-loop dispatch runs on the replica's main core; crypto is
@@ -900,12 +978,38 @@ impl GroupRuntime {
                 self.counters.direct_msgs += 1;
                 self.channel_send(sh, Lane::Direct, r, to.0 as usize, msg.to_bytes(), at);
             }
-            Effect::Execute { slot: _, req } => {
-                let cost = self.nodes[r].app.execute_cost(&req.payload);
-                let payload = self.nodes[r].app.execute(&req.payload);
+            Effect::Execute { slot, req } => {
+                // Auditor self-test mutations: deliberately corrupt this
+                // replica's execution so the auditor can be shown to catch
+                // it. Never active outside mutation tests.
+                let corrupted = match self.cfg.audit_mutation {
+                    Some(AuditMutation::CorruptExecution { replica })
+                        if replica == r && !req.payload.is_empty() =>
+                    {
+                        let mut p = req.payload.clone();
+                        p[0] ^= 0xFF;
+                        Some(p)
+                    }
+                    _ => None,
+                };
+                let applied: &[u8] = corrupted.as_deref().unwrap_or(&req.payload);
+                let cost = self.nodes[r].app.execute_cost(applied);
+                let payload = self.nodes[r].app.execute(applied);
+                if let Some(AuditMutation::DoubleExecute { replica }) = self.cfg.audit_mutation {
+                    if replica == r {
+                        let _ = self.nodes[r].app.execute(applied);
+                    }
+                }
+                if let Some(aud) = sh.audit.as_mut() {
+                    aud.on_execute(self.gid as usize, r, slot, req.id, applied, &payload);
+                }
                 let done = self.charge(r, at, cost);
                 if !req.is_noop() && (req.id.client.0 as usize) < self.clients.len() {
                     let reply = Reply { id: req.id, replica: ReplicaId(r as u32), payload };
+                    // Last-reply table (bounded: one entry per client), so
+                    // a retransmitted already-executed request can be
+                    // re-answered.
+                    self.nodes[r].reply_cache.insert(req.id.client, reply.clone());
                     let c_node = self.client_node(req.id.client.0 as usize);
                     self.counters.rpc_msgs += 1;
                     self.channel_send(sh, Lane::ClientResp, r, c_node, reply.to_bytes(), done);
@@ -913,20 +1017,33 @@ impl GroupRuntime {
             }
             Effect::RequestSnapshot { base } => {
                 let digest = self.nodes[r].app.snapshot_digest();
+                if let Some(aud) = sh.audit.as_mut() {
+                    aud.on_checkpoint_digest(self.gid as usize, r, base, digest);
+                }
+                // The dedup table is captured at the same instant as the
+                // application digest, so the certified checkpoint covers
+                // the *whole* decision-relevant state.
+                let table = self.nodes[r].engine.exec_table();
+                let exec_digest = ubft_core::msg::exec_table_digest(&table);
                 if self.keep_snapshots {
-                    // Retain the serialized state for serving replacement
-                    // nodes' transfers (bounded history).
-                    let bytes = self.nodes[r].app.snapshot_bytes();
+                    // Retain the serialized state for serving lagging
+                    // replicas' transfers (bounded history).
+                    let app_bytes = self.nodes[r].app.snapshot_bytes();
                     let node = &mut self.nodes[r];
-                    node.snapshots.push((base, digest, bytes));
+                    node.snapshots.push(crate::node::Snapshot {
+                        base,
+                        app_digest: digest,
+                        app_bytes,
+                        exec_table: table,
+                    });
                     if node.snapshots.len() > SNAPSHOT_RETAIN {
                         node.snapshots.remove(0);
                     }
                 }
-                self.engine_call(sh, r, at, |e| e.on_snapshot(base, digest));
+                self.engine_call(sh, r, at, |e| e.on_snapshot(base, digest, exec_digest));
             }
-            Effect::StateTransfer { base, app_digest } => {
-                self.state_transfer(r, base, app_digest, at);
+            Effect::StateTransfer { base, app_digest, exec_digest } => {
+                self.state_transfer(sh, r, base, app_digest, exec_digest, at);
             }
             Effect::AdoptStreams { tails } => {
                 for (stream, next) in tails {
@@ -949,7 +1066,12 @@ impl GroupRuntime {
             Effect::ByzantineDetected { replica, reason } => {
                 self.byz_reports.push((r, replica.0, reason));
             }
-            Effect::CheckpointAdopted { .. } | Effect::ViewChanged { .. } => {}
+            Effect::CheckpointAdopted { base } => {
+                if let Some(aud) = sh.audit.as_mut() {
+                    aud.on_checkpoint_adopted(self.gid as usize, r, base);
+                }
+            }
+            Effect::ViewChanged { .. } => {}
         }
     }
 
@@ -1353,6 +1475,20 @@ impl GroupRuntime {
                     if self.byz_mode(to, at) == Some(ByzantineMode::CensorRequests) {
                         return;
                     }
+                    // A retransmission of an already-executed request is
+                    // answered from the last-reply table — the engine's
+                    // dedup cannot re-execute it (PBFT's classic re-reply).
+                    let cached = self.nodes[to]
+                        .reply_cache
+                        .get(&req.id.client)
+                        .filter(|reply| reply.id == req.id)
+                        .cloned();
+                    if let Some(reply) = cached {
+                        let c_node = self.client_node(req.id.client.0 as usize);
+                        self.counters.rpc_msgs += 1;
+                        self.channel_send(sh, Lane::ClientResp, to, c_node, reply.to_bytes(), at);
+                        return;
+                    }
                     self.engine_call(sh, to, at, |e| e.on_client_request(req));
                 }
             }
@@ -1374,8 +1510,19 @@ impl GroupRuntime {
     // Clients
     // ------------------------------------------------------------------
 
+    /// Consecutive stalled retransmission ticks before the broadcaster
+    /// force-converts its unsummarized CTBcast tail to the signed slow
+    /// path (≈ 600 µs at the default 150 µs period — far above a healthy
+    /// summary round trip, so failure-free runs never pay a signature).
+    const SUMMARY_STALL_TICKS: u32 = 4;
+
     /// One TBcast retransmission tick: every broadcaster this replica owns
     /// resends its stale unacknowledged tail (§4.2), then the tick re-arms.
+    /// Also the summary-stall watchdog: a crossed-but-uncertified summary
+    /// boundary that survives several ticks means some receiver cannot
+    /// reach it in FIFO order (its fast-path unanimity died with a peer) —
+    /// the only repair is to give the stuck suffix signed slow-path
+    /// evidence, because the summary itself needs that receiver's share.
     fn on_retransmit_tick(&mut self, sh: &mut Shared<'_>, r: usize, at: Time) {
         if !self.nodes[r].crashed {
             for s in 0..self.n() {
@@ -1384,6 +1531,26 @@ impl GroupRuntime {
             }
             let fx = self.nodes[r].cons_tx.retransmit_stale();
             self.handle_tb_effects(sh, r, Lane::ConsTb, at, fx);
+
+            let sent = self.nodes[r].engine.ctb_sent_count();
+            let done = self.nodes[r].engine.ctb_summarized_upto();
+            let half = self.nodes[r].engine.summary_half();
+            if sent >= done + half {
+                let node = &mut self.nodes[r];
+                node.summary_stall_ticks += 1;
+                if node.summary_stall_ticks >= Self::SUMMARY_STALL_TICKS {
+                    node.summary_stall_ticks = 0;
+                    let mut fx = Vec::new();
+                    for k in done + 1..=sent {
+                        fx.extend(self.nodes[r].ctbs[r].force_slow(SeqId(k)));
+                    }
+                    for e in fx {
+                        self.ctb_effect(sh, r, r, at, e);
+                    }
+                }
+            } else {
+                self.nodes[r].summary_stall_ticks = 0;
+            }
         }
         self.push(sh, at + self.cfg.retransmit_period, Ev::Retransmit { r });
     }
@@ -1404,7 +1571,7 @@ impl GroupRuntime {
             return;
         };
         self.idle_backoff[c] = 0;
-        let (_id, fx) = self.clients[c].issue(payload);
+        let (id, fx) = self.clients[c].issue(payload);
         self.issue_times[c] = at;
         for e in fx {
             if let ClientEffect::SendRequest { to, req } = e {
@@ -1419,6 +1586,34 @@ impl GroupRuntime {
                 );
             }
         }
+        self.push(sh, at + client_retry_period(), Ev::ClientRetry { c, id });
+    }
+
+    /// The retransmission check for request `id` of client `c` fired.
+    fn on_client_retry(
+        &mut self,
+        sh: &mut Shared<'_>,
+        c: usize,
+        id: ubft_types::RequestId,
+        at: Time,
+    ) {
+        if self.clients[c].in_flight() != Some(id) {
+            return; // completed (or superseded) — nothing to do
+        }
+        for e in self.clients[c].retransmit() {
+            if let ClientEffect::SendRequest { to, req } = e {
+                self.counters.rpc_msgs += 1;
+                self.channel_send(
+                    sh,
+                    Lane::ClientReq,
+                    self.client_node(c),
+                    to.0 as usize,
+                    req.to_bytes(),
+                    at,
+                );
+            }
+        }
+        self.push(sh, at + client_retry_period(), Ev::ClientRetry { c, id });
     }
 
     fn on_client_complete(&mut self, sh: &mut Shared<'_>, c: usize, at: Time) {
@@ -1456,6 +1651,7 @@ impl GroupRuntime {
                 self.ctb_call(sh, r, stream, t, |c| c.on_registers_read(k, entries));
             }
             Ev::ClientIssue { c } => self.on_client_issue(sh, c, t),
+            Ev::ClientRetry { c, id } => self.on_client_retry(sh, c, id, t),
             Ev::Retransmit { r } => self.on_retransmit_tick(sh, r, t),
             Ev::Replace { r, host } => self.replace_replica(sh, r, host, t),
             Ev::EngineFx { r, epoch, fx } => self.on_engine_fx(sh, r, epoch, fx, t),
@@ -1482,6 +1678,9 @@ pub(crate) struct Deployment {
     pub events: EventQueue<GroupEv>,
     pub ctl: RunCtl,
     pub groups: Vec<GroupRuntime>,
+    /// The omniscient safety auditor ([`SimConfig::with_audit`]); `None`
+    /// keeps the run observation-free and bit-for-bit historical.
+    pub audit: Option<Auditor>,
 }
 
 impl Deployment {
@@ -1508,6 +1707,13 @@ impl Deployment {
                 // count (the facades read it for stall deadlines), while
                 // the per-shard extras are folded into `failures`.
                 cfg.failures = base.shard_plan(g);
+                // The asynchrony phase is deployment-global (the network
+                // delays *every* group's traffic pre-GST), so every
+                // group's plan must carry it — snapshot retention reads
+                // it, and a shard that lags a window behind pre-GST
+                // delays needs donor snapshots to heal.
+                cfg.failures.gst = base.failures.gst;
+                cfg.failures.pre_gst_extra = base.failures.pre_gst_extra;
                 cfg.shard_failures = Vec::new();
                 cfg
             })
@@ -1574,8 +1780,17 @@ impl Deployment {
             (0..n_mem).map(|i| HostId((shards * block + i) as u32)).collect();
 
         let mut groups = Vec::with_capacity(shards);
+        // Groups are built unaudited (nothing decision-relevant happens at
+        // construction — engine start-up arms watchdogs only); the auditor
+        // reads their shape and sequential models once they exist.
+        let mut audit: Option<Auditor> = None;
         for (g, cfg) in cfgs.into_iter().enumerate() {
-            let mut sh = Shared { fabric: &mut fabric, events: &mut events, ctl: &mut ctl };
+            let mut sh = Shared {
+                fabric: &mut fabric,
+                events: &mut events,
+                ctl: &mut ctl,
+                audit: &mut audit,
+            };
             groups.push(GroupRuntime::new(
                 g as u32,
                 cfg,
@@ -1586,11 +1801,14 @@ impl Deployment {
                 &mut sh,
             ));
         }
+        if base.audit {
+            audit = Some(Auditor::new(&groups));
+        }
         for (rejoin_at, g, r, host) in replacements {
             events.push(rejoin_at, (g, Ev::Replace { r, host }));
         }
 
-        Deployment { now: Time::ZERO, fabric, events, ctl, groups }
+        Deployment { now: Time::ZERO, fabric, events, ctl, groups, audit }
     }
 
     /// Drives the closed loop until `requests + warmup` total completions
@@ -1613,13 +1831,13 @@ impl Deployment {
                 break;
             }
             assert!(self.events.total_pushed() < max_events, "simulation diverged (event flood)");
-            let Deployment { fabric, events, ctl, groups, .. } = self;
+            let Deployment { fabric, events, ctl, groups, audit, .. } = self;
             // Apply the handling group's scheduled crashes; other groups'
             // crash flags are only read while handling their own events,
             // so they catch up then.
             let group = &mut groups[gid as usize];
             group.apply_scheduled_crashes(t);
-            let mut sh = Shared { fabric, events, ctl };
+            let mut sh = Shared { fabric, events, ctl, audit };
             group.handle(&mut sh, ev, t);
         }
     }
@@ -1637,16 +1855,18 @@ impl Deployment {
             }
             let Some((t, (gid, ev))) = self.events.pop() else { break };
             self.now = t;
-            let Deployment { fabric, events, ctl, groups, .. } = self;
+            let Deployment { fabric, events, ctl, groups, audit, .. } = self;
             let group = &mut groups[gid as usize];
             group.apply_scheduled_crashes(t);
-            let mut sh = Shared { fabric, events, ctl };
+            let mut sh = Shared { fabric, events, ctl, audit };
             group.handle(&mut sh, ev, t);
         }
     }
 
     /// One group's report: its own latency distribution (cloned), its
     /// counters, completions, and views, stamped with the global end time.
+    /// The audit verdict is deployment-wide; callers wanting per-shard
+    /// slices attach them ([`AuditReport::for_group`]).
     pub(crate) fn shard_report(&self, g: usize) -> RunReport {
         let gr = &self.groups[g];
         RunReport {
@@ -1655,13 +1875,24 @@ impl Deployment {
             completed: gr.completed,
             end: self.now,
             views: gr.views(),
+            audit: None,
         }
+    }
+
+    /// The auditor's verdict over everything observed so far (`None` when
+    /// auditing is off). Idempotent — the model replays incrementally, so
+    /// asking again after [`Deployment::settle`] audits the drained tail.
+    pub(crate) fn audit_report(&mut self) -> Option<AuditReport> {
+        let Deployment { audit, groups, .. } = self;
+        audit.as_mut().map(|a| a.report(groups))
     }
 
     /// The merged whole-deployment report; takes each group's latency
     /// samples (call [`Deployment::shard_report`] first if per-shard
-    /// distributions are wanted).
-    pub(crate) fn aggregate_report(&mut self) -> RunReport {
+    /// distributions are wanted). `audit` is the verdict to attach —
+    /// callers that already produced one pass it in instead of paying the
+    /// model-comparison work twice.
+    pub(crate) fn aggregate_report(&mut self, audit: Option<AuditReport>) -> RunReport {
         let mut latency = LatencyStats::new();
         let mut counters = OpCounters::default();
         let mut views = Vec::new();
@@ -1670,7 +1901,7 @@ impl Deployment {
             counters.merge(&gr.counters);
             views.extend(gr.views());
         }
-        RunReport { latency, counters, completed: self.ctl.completed, end: self.now, views }
+        RunReport { latency, counters, completed: self.ctl.completed, end: self.now, views, audit }
     }
 
     /// Per-replica diagnostics for every group.
@@ -1692,10 +1923,10 @@ fn group_seed(base: u64, g: usize) -> u64 {
     base ^ (g as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-/// The engine configuration a [`SimConfig`] prescribes — shared by initial
-/// construction and replacement-node construction so the two can never
-/// drift.
-fn engine_config(cfg: &SimConfig) -> EngineConfig {
+/// The engine configuration a [`SimConfig`] prescribes for one replica —
+/// shared by initial construction and replacement-node construction so the
+/// two can never drift.
+fn engine_config(cfg: &SimConfig, replica: usize) -> EngineConfig {
     let mut ecfg = EngineConfig::new(cfg.params.clone(), cfg.path);
     ecfg.echo_round = cfg.echo_round;
     if let Some(every) = cfg.summary_every {
@@ -1704,6 +1935,10 @@ fn engine_config(cfg: &SimConfig) -> EngineConfig {
     ecfg.max_batch = cfg.max_batch.max(1);
     if let Some(depth) = cfg.pipeline_depth {
         ecfg.pipeline_depth = depth.max(1);
+    }
+    ecfg.record_decisions = cfg.audit;
+    if let Some(AuditMutation::DecideEarly { replica: target }) = cfg.audit_mutation {
+        ecfg.test_decide_early = target == replica;
     }
     ecfg
 }

@@ -18,6 +18,7 @@
 //! * [`memory`] — replica-local and disaggregated memory accounting
 //!   (Table 2), with per-shard breakdowns.
 
+pub mod audit;
 pub mod baselines;
 pub mod calibration;
 pub mod cluster;
@@ -27,6 +28,7 @@ pub mod sharded;
 mod group;
 mod node;
 
+pub use audit::{AuditMutation, AuditReport, AuditViolation, Auditor, ViolationKind};
 pub use calibration::SimConfig;
 pub use cluster::{Cluster, OpCounters, RunReport};
 pub use sharded::{ShardReport, ShardedCluster};

@@ -17,10 +17,12 @@ pub struct MemoryReport {
     /// A single-group cluster reports one entry.
     pub disagg_bytes_per_shard: Vec<usize>,
     /// Bytes the measured replica retains in checkpoint snapshots for
-    /// serving replacement-node state transfers. Zero unless the fault
-    /// plan schedules replacements — supporting churn is free until it is
-    /// actually exercised, and even then the history is bounded (a handful
-    /// of checkpoints), keeping the paper's bounded-memory story intact.
+    /// serving certified state transfers (replacement nodes, and replicas
+    /// that lagged a whole window behind a partition or asynchrony). Zero
+    /// unless the fault plan schedules faults — supporting recovery is
+    /// free until it could be exercised, and even then the history is
+    /// bounded (a handful of checkpoints), keeping the paper's
+    /// bounded-memory story intact.
     pub replica_snapshot_bytes: usize,
 }
 

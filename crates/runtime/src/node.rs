@@ -2,19 +2,38 @@
 //! single uBFT replica owns — previously inlined as parallel `Vec`s in the
 //! `Cluster` monolith.
 
+use std::collections::HashMap;
+
 use ubft_core::app::App;
 use ubft_core::engine::Engine;
+use ubft_core::msg::Reply;
 use ubft_crypto::Digest;
 use ubft_ctb::ctbcast::Ctb;
 use ubft_ctb::tbcast::{TailBroadcaster, TailReceiver};
 use ubft_dmem::register::RegisterWriter;
-use ubft_types::{Slot, Time};
+use ubft_types::{ClientId, Slot, Time};
 
 /// How many recent checkpoint snapshots a replica retains for serving
 /// state transfers to replacement nodes. The joiner always asks for a
 /// *recent* stable checkpoint (its `f + 1` join acks name one), so a short
 /// history suffices; anything older is covered by a newer checkpoint.
 pub(crate) const SNAPSHOT_RETAIN: usize = 4;
+
+/// One retained checkpoint snapshot: everything a certified state transfer
+/// hands a lagging replica — the serialized application plus the
+/// request-dedup table, each verified by the receiver against the
+/// checkpoint certificate's digests.
+pub(crate) struct Snapshot {
+    /// First slot *not* covered.
+    pub base: Slot,
+    /// Digest the restored application must reproduce.
+    pub app_digest: Digest,
+    /// Serialized application state.
+    pub app_bytes: Vec<u8>,
+    /// The dedup table at `base` (certified via
+    /// [`CheckpointData::exec_digest`](ubft_core::msg::CheckpointData)).
+    pub exec_table: Vec<(ClientId, u64)>,
+}
 
 /// One replica's complete protocol stack.
 ///
@@ -50,11 +69,12 @@ pub(crate) struct ReplicaNode {
     pub crypto_busy: Time,
     /// Whether a scheduled crash has taken effect.
     pub crashed: bool,
-    /// Recent checkpoint snapshots `(base, app digest, app bytes)`, oldest
-    /// first, retained to serve replacement-node state transfers. Empty
+    /// Recent checkpoint snapshots, oldest first, retained to serve
+    /// certified state transfers — to replacement nodes and to replicas
+    /// that lagged a whole window behind a partition or asynchrony. Empty
     /// (and never populated) unless the deployment's fault plan schedules
-    /// replacements, so failure-free runs pay nothing.
-    pub snapshots: Vec<(Slot, Digest, Vec<u8>)>,
+    /// faults, so failure-free runs pay nothing.
+    pub snapshots: Vec<Snapshot>,
     /// Engine-effect batches deferred behind crypto completion that have
     /// not been applied yet (see `Ev::EngineFx` in the group runtime).
     pub deferred_fx: u32,
@@ -65,6 +85,17 @@ pub(crate) struct ReplicaNode {
     /// Incarnation counter, bumped on replacement: deferred batches carry
     /// the epoch that scheduled them and are dropped on mismatch.
     pub epoch: u32,
+    /// Consecutive retransmission ticks during which this node's own
+    /// CTBcast summary stayed stalled (a boundary crossed but not
+    /// certified); past a threshold the runtime force-converts the
+    /// unsummarized tail to the signed slow path so receivers whose
+    /// fast-path unanimity a dead peer broke can still deliver.
+    pub summary_stall_ticks: u32,
+    /// The last reply sent to each client (PBFT's last-reply table): a
+    /// retransmitted request that already executed is answered from here —
+    /// the engine's dedup cannot re-execute it, and without the cached
+    /// reply a client whose response was lost would stall forever.
+    pub reply_cache: HashMap<ClientId, Reply>,
 }
 
 impl ReplicaNode {
@@ -81,9 +112,9 @@ impl ReplicaNode {
         total
     }
 
-    /// Bytes retained in checkpoint snapshots kept for replacement-node
-    /// state transfers (zero unless the fault plan schedules replacements).
+    /// Bytes retained in checkpoint snapshots kept for serving state
+    /// transfers (zero unless the fault plan schedules faults).
     pub fn snapshot_bytes(&self) -> usize {
-        self.snapshots.iter().map(|(_, _, b)| b.len()).sum()
+        self.snapshots.iter().map(|s| s.app_bytes.len()).sum()
     }
 }

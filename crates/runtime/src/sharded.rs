@@ -217,14 +217,28 @@ impl ShardedCluster {
         self.dep.groups[g].replica_snapshot_bytes(r)
     }
 
+    /// The safety auditor's verdict over everything observed so far
+    /// (`None` unless the run was configured with
+    /// [`SimConfig::with_audit`]). Idempotent; call again after
+    /// [`ShardedCluster::settle`] to audit the drained tail too.
+    pub fn audit_report(&mut self) -> Option<crate::audit::AuditReport> {
+        self.dep.audit_report()
+    }
+
     /// Like [`ShardedCluster::run`] but gives up (without panicking) when
     /// virtual time exceeds `deadline`, so stalls are observable instead of
     /// fatal.
     pub fn run_until(&mut self, requests: u64, warmup: u64, deadline: Time) -> ShardReport {
         self.dep.run_loop(requests, warmup, deadline);
-        let shards: Vec<RunReport> =
-            (0..self.dep.groups.len()).map(|g| self.dep.shard_report(g)).collect();
-        let aggregate = self.dep.aggregate_report();
+        let audit = self.dep.audit_report();
+        let shards: Vec<RunReport> = (0..self.dep.groups.len())
+            .map(|g| {
+                let mut r = self.dep.shard_report(g);
+                r.audit = audit.as_ref().map(|a| a.for_group(g));
+                r
+            })
+            .collect();
+        let aggregate = self.dep.aggregate_report(audit);
         ShardReport { aggregate, shards }
     }
 }

@@ -1,0 +1,583 @@
+//! Seeded chaos-plan generation over the full fault vocabulary.
+//!
+//! Hand-picked scenario tests each exercise one fault shape at a time; the
+//! bugs that survive them hide in *compositions* — a partition racing a
+//! replacement, a Byzantine leader under pre-GST asynchrony, a memory-node
+//! crash while a joiner scans its register banks. [`ChaosPlan::generate`]
+//! draws such compositions from a seed, constrained by the validity rules
+//! that keep a plan inside the deployment's fault budget (at most `f`
+//! *concurrently* faulty replicas per group, at most `f_m` crashed memory
+//! nodes, one lifecycle per replica), and [`shrink`] reduces a failing
+//! plan to its smallest still-failing core so the repro a human reads is
+//! minimal.
+//!
+//! Everything is deterministic: the same `(seed, space)` always yields the
+//! same plan, and a printed plan ([`ChaosPlan::repro_string`]) rebuilds
+//! byte-identically via the [`FailurePlan`] builders.
+
+use crate::failure::{ByzantineMode, FailurePlan, Fault};
+use crate::rng::SimRng;
+use ubft_types::{Duration, Time};
+
+/// Seed-space salt so chaos streams never collide with other consumers of
+/// the experiment seed.
+const CHAOS_SALT: u64 = 0xC4A0_5EED_0DDB_A115;
+
+/// The fault space a chaos plan is drawn from: the deployment shape, the
+/// time horizon faults land in, and the budgets the validity rules
+/// enforce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSpace {
+    /// Number of consensus groups (shards).
+    pub groups: usize,
+    /// Replicas per group (`n = 2f + 1`).
+    pub replicas: usize,
+    /// Byzantine/crash budget per group.
+    pub f: usize,
+    /// Memory nodes shared by every group (`2 f_m + 1`).
+    pub mem_nodes: usize,
+    /// Memory-node crash budget.
+    pub f_m: usize,
+    /// All fault times land in `[0, horizon)`; partitions heal by then.
+    pub horizon: Duration,
+    /// Most faults one plan composes.
+    pub max_faults: usize,
+    /// How long after its rejoin a replaced replica still counts as
+    /// faulty: the boot instant is not the recovered instant — the join
+    /// handshake and state transfer need `f + 1` live peers — so plans
+    /// that stack a second fault right after a rejoin are rejected.
+    pub recovery_margin: Duration,
+}
+
+impl ChaosSpace {
+    /// The paper-default single-group shape (`f = 1`, `f_m = 1`) with a
+    /// 1.5 ms fault horizon.
+    pub fn paper_default() -> Self {
+        ChaosSpace {
+            groups: 1,
+            replicas: 3,
+            f: 1,
+            mem_nodes: 3,
+            f_m: 1,
+            horizon: Duration::from_micros(1_500),
+            max_faults: 4,
+            recovery_margin: Duration::from_micros(600),
+        }
+    }
+
+    /// Spreads the same per-group budgets over `groups` shards.
+    #[must_use]
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups.max(1);
+        self
+    }
+
+    /// Overrides the fault horizon.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: Duration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Overrides the per-plan fault cap (clamped to at least one).
+    #[must_use]
+    pub fn with_max_faults(mut self, max_faults: usize) -> Self {
+        self.max_faults = max_faults.max(1);
+        self
+    }
+}
+
+/// One scheduled fault, addressed to a consensus group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosFault {
+    /// The group (shard) the fault lands in. Memory-node crashes are
+    /// deployment-global regardless (the nodes are shared); the group only
+    /// records which shard's plan scheduled it.
+    pub group: usize,
+    /// The fault itself, with group-local replica indices.
+    pub fault: Fault,
+}
+
+/// A generated composition of faults plus an optional pre-GST asynchrony
+/// phase. Convert to runnable [`FailurePlan`]s via [`ChaosPlan::group_plan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed this plan was drawn from (0 for hand-written plans).
+    pub seed: u64,
+    /// The scheduled faults, in generation order.
+    pub faults: Vec<ChaosFault>,
+    /// Deployment-global asynchronous prefix: `(gst, extra per-hop delay)`.
+    pub asynchrony: Option<(Time, Duration)>,
+}
+
+fn at_us(us: u64) -> Time {
+    Time::ZERO + Duration::from_micros(us)
+}
+
+fn micros(t: Time) -> u64 {
+    t.since(Time::ZERO).as_nanos() / 1_000
+}
+
+impl ChaosPlan {
+    /// A plan with no faults and no asynchrony (the fault-free reference).
+    pub fn none() -> Self {
+        ChaosPlan { seed: 0, faults: Vec::new(), asynchrony: None }
+    }
+
+    /// Draws a valid plan from `seed`. Deterministic: the same
+    /// `(seed, space)` always yields the same plan. Candidate faults that
+    /// would break a validity rule are discarded and redrawn (bounded
+    /// attempts), so every generated plan satisfies
+    /// [`ChaosPlan::is_valid`].
+    pub fn generate(seed: u64, space: &ChaosSpace) -> ChaosPlan {
+        let mut rng = SimRng::new(seed ^ CHAOS_SALT);
+        let mut plan = ChaosPlan { seed, faults: Vec::new(), asynchrony: None };
+        let horizon_us = (space.horizon.as_nanos() / 1_000).max(200);
+        // One plan in three opens with an asynchronous prefix: timeouts
+        // misfire, the slow path and spurious view changes kick in.
+        if rng.chance(1, 3) {
+            let gst = at_us(rng.gen_range_inclusive(100, horizon_us));
+            let extra = Duration::from_micros(rng.gen_range_inclusive(20, 200));
+            plan.asynchrony = Some((gst, extra));
+        }
+        let target = 1 + rng.gen_range(space.max_faults.max(1) as u64) as usize;
+        let mut attempts = 0;
+        while plan.faults.len() < target && attempts < 96 {
+            attempts += 1;
+            let cand = draw_fault(&mut rng, space, horizon_us);
+            if plan.admits(space, &cand) {
+                plan.faults.push(cand);
+            }
+        }
+        plan
+    }
+
+    /// Whether adding `cand` keeps this plan inside the validity rules.
+    pub fn admits(&self, space: &ChaosSpace, cand: &ChaosFault) -> bool {
+        if cand.group >= space.groups {
+            return false;
+        }
+        match cand.fault {
+            Fault::ReplicaCrash { index, .. }
+            | Fault::Byzantine { index, .. }
+            | Fault::Replace { index, .. } => {
+                if index >= space.replicas {
+                    return false;
+                }
+                // One lifecycle (and one behaviour) per replica per plan:
+                // compositions stay readable and a Byzantine mode never
+                // outlives a replacement of the same identity.
+                let taken = self.faults.iter().any(|f| {
+                    f.group == cand.group
+                        && matches!(
+                            f.fault,
+                            Fault::ReplicaCrash { index: i, .. }
+                            | Fault::Byzantine { index: i, .. }
+                            | Fault::Replace { index: i, .. } if i == index
+                        )
+                });
+                if taken {
+                    return false;
+                }
+                if let Fault::Replace { crash_at, rejoin_at, .. } = cand.fault {
+                    if rejoin_at <= crash_at {
+                        return false;
+                    }
+                }
+                // A replacement must be the *last* replica-lifecycle fault
+                // of its group: the implementation only fully re-arms a
+                // replacement at the next stable checkpoint (its join
+                // replays at most a handful of certified commits, and
+                // fast-path decisions carry no transferable certificate at
+                // all), and checkpoint formation time is unbounded under
+                // concurrent faults — so a lifecycle fault scheduled after
+                // a rejoin can exceed the effective f budget in the
+                // pre-checkpoint window. The chaos explorer found exactly
+                // that (two pre-checkpoint replacements let the two
+                // amnesiac fresh nodes certify view-change noop fillers
+                // for slots the surviving replica had decided); closing it
+                // protocol-side is a ROADMAP item.
+                let lifecycle_start = |f: &Fault| match f {
+                    Fault::ReplicaCrash { at, .. } => Some(*at),
+                    Fault::Byzantine { from, .. } => Some(*from),
+                    Fault::Replace { crash_at, .. } => Some(*crash_at),
+                    _ => None,
+                };
+                let group_faults: Vec<Fault> = self
+                    .faults
+                    .iter()
+                    .filter(|f| f.group == cand.group)
+                    .map(|f| f.fault)
+                    .chain(std::iter::once(cand.fault))
+                    .collect();
+                for f in &group_faults {
+                    if let Fault::Replace { crash_at, .. } = f {
+                        let later = group_faults.iter().any(|other| {
+                            other != f && lifecycle_start(other).is_some_and(|t| t >= *crash_at)
+                        });
+                        if later {
+                            return false;
+                        }
+                    }
+                }
+                // The budget: at most f *concurrently* faulty replicas in
+                // the group, counting a replacement's recovery margin.
+                let mut plan = self.group_plan(cand.group);
+                plan = plan.with_fault(cand.fault);
+                plan.peak_concurrent_faulty(space.recovery_margin) <= space.f
+            }
+            Fault::MemNodeCrash { index, .. } => {
+                if index >= space.mem_nodes {
+                    return false;
+                }
+                // Memory nodes are shared by every group: the f_m budget
+                // and the one-crash-per-node rule are deployment-global.
+                let crashed: std::collections::BTreeSet<usize> = self
+                    .faults
+                    .iter()
+                    .filter_map(|f| match f.fault {
+                        Fault::MemNodeCrash { index, .. } => Some(index),
+                        _ => None,
+                    })
+                    .collect();
+                !crashed.contains(&index) && crashed.len() < space.f_m
+            }
+            Fault::Partition { a, b, from, until } => {
+                if a >= space.replicas || b >= space.replicas || a == b || from >= until {
+                    return false;
+                }
+                if until > Time::ZERO + space.horizon {
+                    return false; // partitions must heal inside the horizon
+                }
+                // At most one severed pair at a time per group: a second
+                // concurrent cut can fully isolate a replica, which spends
+                // the f budget without being accounted as a replica fault.
+                !self.faults.iter().any(|f| {
+                    f.group == cand.group
+                        && matches!(
+                            f.fault,
+                            Fault::Partition { from: f2, until: u2, .. }
+                                if from < u2 && f2 < until
+                        )
+                })
+            }
+        }
+    }
+
+    /// Whether every fault of this plan is admitted by its predecessors —
+    /// i.e. the plan could have been built fault-by-fault without breaking
+    /// a validity rule. Generated and shrunk plans always are.
+    pub fn is_valid(&self, space: &ChaosSpace) -> bool {
+        let mut acc =
+            ChaosPlan { seed: self.seed, faults: Vec::new(), asynchrony: self.asynchrony };
+        for f in &self.faults {
+            if !acc.admits(space, f) {
+                return false;
+            }
+            acc.faults.push(*f);
+        }
+        true
+    }
+
+    /// The runnable [`FailurePlan`] of one group: its faults, plus (for
+    /// group 0) the deployment-global asynchrony phase, mirroring how the
+    /// runtime reads GST off the base plan.
+    pub fn group_plan(&self, group: usize) -> FailurePlan {
+        let mut plan = FailurePlan::none();
+        for cf in self.faults.iter().filter(|c| c.group == group) {
+            plan = plan.with_fault(cf.fault);
+        }
+        if group == 0 {
+            if let Some((gst, extra)) = self.asynchrony {
+                plan = plan.with_asynchrony(gst, extra);
+            }
+        }
+        plan
+    }
+
+    /// Highest group index any fault addresses (0 for an empty plan).
+    pub fn max_group(&self) -> usize {
+        self.faults.iter().map(|f| f.group).max().unwrap_or(0)
+    }
+
+    /// Whether `self`'s faults are a sub-multiset of `other`'s and the
+    /// asynchrony phase did not appear from nowhere — the monotonicity
+    /// [`shrink`] guarantees.
+    pub fn is_subset_of(&self, other: &ChaosPlan) -> bool {
+        let mut pool: Vec<&ChaosFault> = other.faults.iter().collect();
+        for f in &self.faults {
+            match pool.iter().position(|p| **p == *f) {
+                Some(i) => {
+                    pool.swap_remove(i);
+                }
+                None => return false,
+            }
+        }
+        self.asynchrony.is_none() || self.asynchrony == other.asynchrony
+    }
+
+    /// The plan as copy-pasteable Rust: one [`FailurePlan`] builder chain
+    /// per group (exactly what `SimConfig::with_chaos` would construct),
+    /// ready to drop into a regression test.
+    pub fn repro_string(&self) -> String {
+        let mut s = format!("// ChaosPlan seed {} ({} fault(s))\n", self.seed, self.faults.len());
+        for g in 0..=self.max_group() {
+            let faults: Vec<&ChaosFault> = self.faults.iter().filter(|f| f.group == g).collect();
+            if faults.is_empty() && !(g == 0 && self.asynchrony.is_some()) {
+                continue;
+            }
+            s.push_str(&format!("// group {g}:\nFailurePlan::none()\n"));
+            for cf in faults {
+                let line = match cf.fault {
+                    Fault::ReplicaCrash { index, at } => {
+                        format!("    .crash_replica({index}, us({}))\n", micros(at))
+                    }
+                    Fault::MemNodeCrash { index, at } => {
+                        format!("    .crash_mem_node({index}, us({}))\n", micros(at))
+                    }
+                    Fault::Byzantine { index, mode, from } => format!(
+                        "    .byzantine({index}, ByzantineMode::{mode:?}, us({}))\n",
+                        micros(from)
+                    ),
+                    Fault::Replace { index, crash_at, rejoin_at } => format!(
+                        "    .replace_replica({index}, us({}), us({}))\n",
+                        micros(crash_at),
+                        micros(rejoin_at)
+                    ),
+                    Fault::Partition { a, b, from, until } => format!(
+                        "    .partition({a}, {b}, us({}), us({}))\n",
+                        micros(from),
+                        micros(until)
+                    ),
+                };
+                s.push_str(&line);
+            }
+            if g == 0 {
+                if let Some((gst, extra)) = self.asynchrony {
+                    s.push_str(&format!(
+                        "    .with_asynchrony(us({}), Duration::from_micros({}))\n",
+                        micros(gst),
+                        extra.as_nanos() / 1_000
+                    ));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Draws one candidate fault; validity is the caller's problem
+/// ([`ChaosPlan::admits`] filters).
+fn draw_fault(rng: &mut SimRng, space: &ChaosSpace, horizon_us: u64) -> ChaosFault {
+    let group = rng.gen_range(space.groups as u64) as usize;
+    let t = |rng: &mut SimRng| at_us(rng.gen_range_inclusive(50, horizon_us));
+    let fault = match rng.gen_range(6) {
+        0 => {
+            Fault::ReplicaCrash { index: rng.gen_range(space.replicas as u64) as usize, at: t(rng) }
+        }
+        1 => {
+            let mode = match rng.gen_range(5) {
+                0 => ByzantineMode::EquivocateProposals,
+                1 => ByzantineMode::Silent,
+                2 => ByzantineMode::CensorRequests,
+                3 => ByzantineMode::CorruptRegisters,
+                _ => ByzantineMode::Laggard,
+            };
+            Fault::Byzantine {
+                index: rng.gen_range(space.replicas as u64) as usize,
+                mode,
+                from: t(rng),
+            }
+        }
+        2 => Fault::MemNodeCrash {
+            index: rng.gen_range(space.mem_nodes.max(1) as u64) as usize,
+            at: t(rng),
+        },
+        3 => {
+            let crash_at = t(rng);
+            let delay = Duration::from_micros(rng.gen_range_inclusive(100, 700));
+            Fault::Replace {
+                index: rng.gen_range(space.replicas as u64) as usize,
+                crash_at,
+                rejoin_at: crash_at + delay,
+            }
+        }
+        _ => {
+            let a = rng.gen_range(space.replicas as u64) as usize;
+            let b = rng.gen_range(space.replicas as u64) as usize;
+            let from_us = rng.gen_range_inclusive(50, horizon_us.saturating_sub(100).max(51));
+            let until_us = rng.gen_range_inclusive(from_us + 50, horizon_us.max(from_us + 50));
+            Fault::Partition { a, b, from: at_us(from_us), until: at_us(until_us) }
+        }
+    };
+    ChaosFault { group, fault }
+}
+
+/// Greedily minimizes a failing plan: repeatedly drops single faults (and
+/// the asynchrony phase) as long as `still_fails` keeps returning `true`,
+/// until no single removal preserves the failure. The result is a
+/// sub-multiset of the input ([`ChaosPlan::is_subset_of`]) and — because
+/// every validity rule is monotone under fault removal — still valid.
+pub fn shrink(
+    plan: &ChaosPlan,
+    space: &ChaosSpace,
+    mut still_fails: impl FnMut(&ChaosPlan) -> bool,
+) -> ChaosPlan {
+    let mut cur = plan.clone();
+    loop {
+        let mut reduced = false;
+        if cur.asynchrony.is_some() {
+            let mut cand = cur.clone();
+            cand.asynchrony = None;
+            if still_fails(&cand) {
+                cur = cand;
+                reduced = true;
+            }
+        }
+        let mut i = 0;
+        while i < cur.faults.len() {
+            let mut cand = cur.clone();
+            cand.faults.remove(i);
+            if still_fails(&cand) {
+                cur = cand;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    debug_assert!(cur.is_valid(space), "shrinking must preserve validity");
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let space = ChaosSpace::paper_default();
+        for seed in 0..40u64 {
+            assert_eq!(ChaosPlan::generate(seed, &space), ChaosPlan::generate(seed, &space));
+        }
+        // Different seeds draw different plans (overwhelmingly).
+        let distinct: std::collections::BTreeSet<String> =
+            (0..40u64).map(|s| format!("{:?}", ChaosPlan::generate(s, &space))).collect();
+        assert!(distinct.len() > 30, "only {} distinct plans in 40 seeds", distinct.len());
+    }
+
+    #[test]
+    fn generated_plans_are_valid_and_nonempty() {
+        let space = ChaosSpace::paper_default().with_groups(2);
+        for seed in 0..200u64 {
+            let plan = ChaosPlan::generate(seed, &space);
+            assert!(plan.is_valid(&space), "seed {seed} generated an invalid plan: {plan:?}");
+            assert!(
+                !plan.faults.is_empty() || plan.asynchrony.is_some(),
+                "seed {seed} generated an empty plan"
+            );
+            for g in 0..space.groups {
+                assert!(plan.group_plan(g).faulty_replica_count() <= space.f);
+            }
+            assert!(plan.group_plan(0).faulty_mem_node_count() <= space.f_m);
+        }
+    }
+
+    #[test]
+    fn replacement_must_be_the_last_lifecycle_fault() {
+        let space = ChaosSpace::paper_default().with_horizon(Duration::from_micros(5_000));
+        let replace = ChaosFault {
+            group: 0,
+            fault: Fault::Replace { index: 0, crash_at: at_us(100), rejoin_at: at_us(300) },
+        };
+        let late_crash =
+            ChaosFault { group: 0, fault: Fault::ReplicaCrash { index: 1, at: at_us(2_000) } };
+        let partition = ChaosFault {
+            group: 0,
+            fault: Fault::Partition { a: 0, b: 1, from: at_us(400), until: at_us(900) },
+        };
+        let mut plan = ChaosPlan::none();
+        assert!(plan.admits(&space, &replace));
+        plan.faults.push(replace);
+        // No replica-lifecycle fault may start after a replacement's crash:
+        // the replacement is only fully re-armed at the next stable
+        // checkpoint, whose formation time is unbounded under faults.
+        assert!(!plan.admits(&space, &late_crash));
+        // Network faults still compose freely (they exercise the join's
+        // retransmission path).
+        assert!(plan.admits(&space, &partition));
+        // And the same crash is rejected the other way around too.
+        let mut crash_first = ChaosPlan::none();
+        crash_first.faults.push(late_crash);
+        assert!(!crash_first.admits(&space, &replace));
+    }
+
+    #[test]
+    fn mem_node_budget_is_deployment_global() {
+        let space = ChaosSpace::paper_default().with_groups(2);
+        let mut plan = ChaosPlan::none();
+        let m0 = ChaosFault { group: 0, fault: Fault::MemNodeCrash { index: 0, at: at_us(100) } };
+        let m1 = ChaosFault { group: 1, fault: Fault::MemNodeCrash { index: 1, at: at_us(100) } };
+        assert!(plan.admits(&space, &m0));
+        plan.faults.push(m0);
+        // f_m = 1: a second node may not crash even from another shard's
+        // plan (the nodes are shared).
+        assert!(!plan.admits(&space, &m1));
+    }
+
+    #[test]
+    fn shrink_is_greedy_minimal_and_monotone() {
+        let space = ChaosSpace::paper_default().with_horizon(Duration::from_micros(8_000));
+        let culprit =
+            ChaosFault { group: 0, fault: Fault::ReplicaCrash { index: 2, at: at_us(700) } };
+        let plan = ChaosPlan {
+            seed: 7,
+            faults: vec![
+                ChaosFault {
+                    group: 0,
+                    fault: Fault::Partition { a: 0, b: 1, from: at_us(100), until: at_us(400) },
+                },
+                culprit,
+                ChaosFault { group: 0, fault: Fault::MemNodeCrash { index: 1, at: at_us(900) } },
+            ],
+            asynchrony: Some((at_us(500), Duration::from_micros(80))),
+        };
+        assert!(plan.is_valid(&space));
+        // "Fails" iff the culprit crash is present.
+        let shrunk = shrink(&plan, &space, |p| p.faults.contains(&culprit));
+        assert_eq!(shrunk.faults, vec![culprit]);
+        assert_eq!(shrunk.asynchrony, None);
+        assert!(shrunk.is_subset_of(&plan));
+        assert!(shrunk.is_valid(&space));
+    }
+
+    #[test]
+    fn repro_string_names_every_fault() {
+        let plan = ChaosPlan {
+            seed: 3,
+            faults: vec![
+                ChaosFault {
+                    group: 0,
+                    fault: Fault::Replace { index: 1, crash_at: at_us(200), rejoin_at: at_us(500) },
+                },
+                ChaosFault {
+                    group: 1,
+                    fault: Fault::Byzantine {
+                        index: 0,
+                        mode: ByzantineMode::CensorRequests,
+                        from: at_us(50),
+                    },
+                },
+            ],
+            asynchrony: Some((at_us(300), Duration::from_micros(40))),
+        };
+        let s = plan.repro_string();
+        assert!(s.contains(".replace_replica(1, us(200), us(500))"), "{s}");
+        assert!(s.contains(".byzantine(0, ByzantineMode::CensorRequests, us(50))"), "{s}");
+        assert!(s.contains(".with_asynchrony(us(300), Duration::from_micros(40))"), "{s}");
+        assert!(s.contains("// group 1:"), "{s}");
+    }
+}

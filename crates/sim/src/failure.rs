@@ -208,21 +208,102 @@ impl FailurePlan {
         })
     }
 
-    /// Number of replicas that are faulty (crashed or Byzantine) in this
-    /// plan, for sanity-checking against the cluster's `f`.
+    /// Number of replicas that are *concurrently* faulty at the worst
+    /// instant of this plan, for sanity-checking against the cluster's `f`.
+    ///
+    /// A plain crash or a Byzantine activation makes its replica faulty
+    /// from its scheduled time onward. A [`Fault::Replace`] makes its
+    /// replica faulty only during `[crash_at, rejoin_at)` — once the
+    /// replacement node boots, the replica id is healthy again, so a later
+    /// fault on a *different* replica does not double-count against the
+    /// `f` budget. (Historically every faulted index counted forever,
+    /// which rejected replace-then-crash schedules that are in fact
+    /// `f`-tolerable.)
     pub fn faulty_replica_count(&self) -> usize {
+        self.peak_concurrent_faulty(Duration::ZERO)
+    }
+
+    /// Like [`FailurePlan::faulty_replica_count`], but a replaced replica
+    /// keeps counting as faulty for `recovery_margin` past its rejoin —
+    /// the boot instant is not the recovered instant (the join handshake
+    /// and state transfer need `f + 1` *live* peers to complete), so
+    /// liveness-minded plan generators budget the margin too.
+    pub fn peak_concurrent_faulty(&self, recovery_margin: Duration) -> usize {
+        // Per replica index: the time intervals during which it is faulty.
+        // `None` ends mean "forever".
+        let mut per_index: std::collections::BTreeMap<usize, Vec<(Time, Option<Time>)>> =
+            std::collections::BTreeMap::new();
+        for f in &self.faults {
+            match f {
+                Fault::ReplicaCrash { index, at } => {
+                    per_index.entry(*index).or_default().push((*at, None));
+                }
+                Fault::Byzantine { index, from, .. } => {
+                    per_index.entry(*index).or_default().push((*from, None));
+                }
+                Fault::Replace { index, crash_at, rejoin_at } => {
+                    per_index
+                        .entry(*index)
+                        .or_default()
+                        .push((*crash_at, Some(*rejoin_at + recovery_margin)));
+                }
+                // Partitioned replicas are correct — the network is at
+                // fault, and eventual synchrony says it heals. Memory
+                // nodes have their own budget (`f_m`).
+                Fault::MemNodeCrash { .. } | Fault::Partition { .. } => {}
+            }
+        }
+        // Merge each index's intervals so it is never counted twice, then
+        // sweep all indices' disjoint intervals for the peak overlap.
+        let mut events: Vec<(Time, bool)> = Vec::new(); // (time, is_start)
+        for (_idx, mut ivs) in per_index {
+            ivs.sort_by_key(|(s, _)| *s);
+            let mut merged: Vec<(Time, Option<Time>)> = Vec::new();
+            for (s, e) in ivs {
+                match merged.last_mut() {
+                    Some((_ms, me)) if me.is_none_or(|t| t >= s) => {
+                        // Overlaps (or an open interval swallows the rest).
+                        if me.is_some() {
+                            *me = match (*me, e) {
+                                (Some(a), Some(b)) => Some(a.max(b)),
+                                _ => None,
+                            };
+                        }
+                    }
+                    _ => merged.push((s, e)),
+                }
+            }
+            for (s, e) in merged {
+                events.push((s, true));
+                if let Some(e) = e {
+                    events.push((e, false));
+                }
+            }
+        }
+        // Starts sort before ends at the same instant: the boundary moment
+        // counts both parties, the conservative reading.
+        events.sort_by_key(|(t, is_start)| (*t, !*is_start));
+        let (mut cur, mut peak) = (0usize, 0usize);
+        for (_t, is_start) in events {
+            if is_start {
+                cur += 1;
+                peak = peak.max(cur);
+            } else {
+                cur -= 1;
+            }
+        }
+        peak
+    }
+
+    /// Number of distinct memory nodes this plan crashes, for
+    /// sanity-checking against the cluster's `f_m`.
+    pub fn faulty_mem_node_count(&self) -> usize {
         let mut idx: Vec<usize> = self
             .faults
             .iter()
             .filter_map(|f| match f {
-                Fault::ReplicaCrash { index, .. } => Some(*index),
-                Fault::Byzantine { index, .. } => Some(*index),
-                // A replaced replica is faulty between its crash and its
-                // rejoin — it counts against `f` like any crash.
-                Fault::Replace { index, .. } => Some(*index),
-                // Partitioned replicas are correct — the network is at
-                // fault, and eventual synchrony says it heals.
-                Fault::MemNodeCrash { .. } | Fault::Partition { .. } => None,
+                Fault::MemNodeCrash { index, .. } => Some(*index),
+                _ => None,
             })
             .collect();
         idx.sort_unstable();
@@ -310,6 +391,52 @@ mod tests {
     #[should_panic(expected = "already has a scheduled crash")]
     fn one_lifecycle_per_replica() {
         let _ = FailurePlan::none().crash_replica(2, t(5)).replace_replica(2, t(10), t(20));
+    }
+
+    #[test]
+    fn replaced_then_healthy_is_not_double_counted() {
+        // Replica 1 is faulty only during [100, 400); replica 2 crashes at
+        // 900, well after the replacement healed. At no instant are two
+        // replicas faulty, so the plan fits an f = 1 budget.
+        let p = FailurePlan::none().replace_replica(1, t(100), t(400)).crash_replica(2, t(900));
+        assert_eq!(p.faulty_replica_count(), 1);
+        // The same schedule with an overlapping crash does count 2.
+        let q = FailurePlan::none().replace_replica(1, t(100), t(400)).crash_replica(2, t(250));
+        assert_eq!(q.faulty_replica_count(), 2);
+        // A crash landing exactly at the rejoin instant is counted as
+        // concurrent (conservative boundary reading).
+        let r = FailurePlan::none().replace_replica(1, t(100), t(400)).crash_replica(2, t(400));
+        assert_eq!(r.faulty_replica_count(), 2);
+    }
+
+    #[test]
+    fn recovery_margin_extends_the_faulty_interval() {
+        let p = FailurePlan::none().replace_replica(1, t(100), t(400)).crash_replica(2, t(600));
+        assert_eq!(p.peak_concurrent_faulty(Duration::ZERO), 1);
+        // With a 300 µs recovery margin the replacement still counts as
+        // faulty at 600, overlapping the crash.
+        assert_eq!(p.peak_concurrent_faulty(Duration::from_micros(300)), 2);
+    }
+
+    #[test]
+    fn byzantine_and_replace_on_one_index_count_once() {
+        // Pathological overlap on one index must never count it twice.
+        let p = FailurePlan::none().replace_replica(0, t(100), t(200)).byzantine(
+            0,
+            ByzantineMode::Silent,
+            t(150),
+        );
+        assert_eq!(p.faulty_replica_count(), 1);
+    }
+
+    #[test]
+    fn mem_node_budget_is_separate() {
+        let p = FailurePlan::none().crash_mem_node(0, t(5)).crash_mem_node(2, t(9));
+        assert_eq!(p.faulty_replica_count(), 0);
+        assert_eq!(p.faulty_mem_node_count(), 2);
+        // Crashing the same node twice is one faulty node.
+        let q = FailurePlan::none().crash_mem_node(1, t(5)).crash_mem_node(1, t(9));
+        assert_eq!(q.faulty_mem_node_count(), 1);
     }
 
     #[test]

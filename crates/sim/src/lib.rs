@@ -23,6 +23,7 @@
 //! assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
 //! ```
 
+pub mod chaos;
 pub mod cost;
 pub mod event;
 pub mod failure;

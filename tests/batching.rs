@@ -115,7 +115,9 @@ impl Net {
                 }
                 Effect::RequestSnapshot { base } => {
                     let digest = self.apps[who].snapshot_digest();
-                    let fx = self.engines[who].on_snapshot(base, digest);
+                    let table = self.engines[who].exec_table();
+                    let exec_digest = ubft_core::msg::exec_table_digest(&table);
+                    let fx = self.engines[who].on_snapshot(base, digest, exec_digest);
                     self.enqueue(who, fx);
                 }
                 Effect::ArmTimer { kind } => {
