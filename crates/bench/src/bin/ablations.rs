@@ -3,7 +3,8 @@
 //! CTBcast summary double-buffering.
 
 fn main() {
-    let samples = ubft_bench::cli_samples();
+    let cli = ubft_bench::cli();
+    let samples = cli.samples;
     print!("{}", ubft_bench::ablation_path(samples));
     println!();
     print!("{}", ubft_bench::ablation_echo(samples));
@@ -11,4 +12,7 @@ fn main() {
     print!("{}", ubft_bench::ablation_dmem(samples));
     println!();
     print!("{}", ubft_bench::ablation_summary(samples));
+    if cli.json {
+        ubft_bench::emit_standard_json("ablations", samples);
+    }
 }

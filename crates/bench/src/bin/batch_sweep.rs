@@ -1,4 +1,8 @@
 //! Regenerates the request-batching throughput sweep (see EXPERIMENTS.md).
 fn main() {
-    print!("{}", ubft_bench::batch_sweep(ubft_bench::cli_samples()));
+    let cli = ubft_bench::cli();
+    print!("{}", ubft_bench::batch_sweep(cli.samples));
+    if cli.json {
+        ubft_bench::emit_standard_json("batch_sweep", cli.samples);
+    }
 }

@@ -1,4 +1,8 @@
 //! Regenerates the replica-replacement churn sweep (see EXPERIMENTS.md).
 fn main() {
-    print!("{}", ubft_bench::churn_sweep(ubft_bench::cli_samples()));
+    let cli = ubft_bench::cli();
+    print!("{}", ubft_bench::churn_sweep(cli.samples));
+    if cli.json {
+        ubft_bench::emit_standard_json("churn_sweep", cli.samples);
+    }
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's Fig9 (see EXPERIMENTS.md).
 fn main() {
-    print!("{}", ubft_bench::fig9(ubft_bench::cli_samples()));
+    let cli = ubft_bench::cli();
+    print!("{}", ubft_bench::fig9(cli.samples));
+    if cli.json {
+        ubft_bench::emit_standard_json("fig9", cli.samples);
+    }
 }

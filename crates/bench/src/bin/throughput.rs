@@ -1,4 +1,8 @@
 //! Regenerates the §9 throughput figure (see EXPERIMENTS.md).
 fn main() {
-    print!("{}", ubft_bench::throughput(ubft_bench::cli_samples()));
+    let cli = ubft_bench::cli();
+    print!("{}", ubft_bench::throughput(cli.samples));
+    if cli.json {
+        ubft_bench::emit_standard_json("throughput", cli.samples);
+    }
 }

@@ -68,6 +68,17 @@ pub struct EngineConfig {
     /// configurations.
     #[doc(hidden)]
     pub test_decide_early: bool,
+    /// Capacity of the per-client request-dedup table (and, mirrored by
+    /// the runtime, the last-reply cache). `None` — the default — keeps
+    /// one entry per client forever, the paper prototype's unbounded
+    /// behavior. `Some(c)` bounds the table to `c` clients with
+    /// deterministic least-recently-executed eviction ([`crate::lru`]);
+    /// clients with a request still in flight through consensus are
+    /// pinned and never evicted. Like PBFT's bounded last-reply table,
+    /// a capped table trades memory for exactly-once coverage: a client
+    /// must retransmit before `c` *other* clients execute, or its
+    /// retransmission is ordered (and executed) anew.
+    pub client_cache_cap: Option<usize>,
 }
 
 impl EngineConfig {
@@ -86,6 +97,7 @@ impl EngineConfig {
             pipeline_depth,
             record_decisions: false,
             test_decide_early: false,
+            client_cache_cap: None,
         }
     }
 }
@@ -450,9 +462,12 @@ pub struct Engine {
     seen_requests: HashMap<RequestId, Request>,
     /// Requests seen but not yet executed (liveness tracking).
     outstanding: BTreeMap<RequestId, Request>,
-    /// Highest executed client sequence per client (bounded dedup cache,
-    /// like PBFT's last-reply table).
-    last_exec_seq: HashMap<ubft_types::ClientId, u64>,
+    /// Highest executed client sequence per client (the dedup cache,
+    /// like PBFT's last-reply table) — bounded by
+    /// [`EngineConfig::client_cache_cap`] with deterministic LRU
+    /// eviction, so every correct replica's table (and hence the
+    /// checkpoint-certified [`Engine::exec_table`]) stays identical.
+    last_exec_seq: crate::lru::LruMap<ubft_types::ClientId, u64>,
     /// Leader: echo counts per request.
     echoes: HashMap<RequestId, BTreeSet<ReplicaId>>,
     /// Leader: requests ready to propose.
@@ -517,6 +532,15 @@ impl Engine {
     pub fn new(me: ReplicaId, cfg: EngineConfig, ring: KeyRing) -> Self {
         let signer = ring.signer(ProcessId::Replica(me)).expect("key for me");
         let state = cfg.params.replicas().map(|r| (r, PeerState::new())).collect();
+        // A request re-proposed across a view change may occupy a second
+        // slot, and that slot must land inside the acceptance window —
+        // within 2 windows of the first. At most `2 · window · max_batch`
+        // distinct clients execute in that span, so flooring the dedup
+        // capacity there guarantees an in-flight request's entry is never
+        // evicted before its duplicate executes: eviction can only forget
+        // clients whose requests are fully settled.
+        let dedup_floor = 2 * cfg.params.window * cfg.max_batch.max(1);
+        let client_cache_cap = cfg.client_cache_cap.map(|c| c.max(dedup_floor));
         Engine {
             me,
             cfg,
@@ -534,7 +558,7 @@ impl Engine {
             byzantine: BTreeSet::new(),
             seen_requests: HashMap::new(),
             outstanding: BTreeMap::new(),
-            last_exec_seq: HashMap::new(),
+            last_exec_seq: crate::lru::LruMap::new(client_cache_cap),
             echoes: HashMap::new(),
             propose_queue: VecDeque::new(),
             propose_solo: HashSet::new(),
@@ -1417,8 +1441,14 @@ impl Engine {
                 // only its first occurrence executes (PBFT-style last-reply
                 // dedup).
                 if !self.already_executed(&req.id) {
-                    let hi = self.last_exec_seq.entry(req.id.client).or_insert(0);
-                    *hi = (*hi).max(req.id.seq + 1);
+                    let hi = self.last_exec_seq.get(&req.id.client).copied().unwrap_or(0);
+                    // No pin predicate here: a pin keyed on local state
+                    // (e.g. `outstanding`, which reflects receipt timing)
+                    // would make eviction differ across replicas and
+                    // break the checkpoint-certified table. The capacity
+                    // floor in `Engine::new` is what protects in-flight
+                    // duplicates instead — deterministically.
+                    self.last_exec_seq.insert(req.id.client, hi.max(req.id.seq + 1), |_| false);
                     fx.push(Effect::Execute { slot: self.exec_next, req });
                 }
             }
@@ -1503,8 +1533,8 @@ impl Engine {
             return fx;
         }
         for (client, seq) in table {
-            let hi = self.last_exec_seq.entry(client).or_insert(0);
-            *hi = (*hi).max(seq);
+            let hi = self.last_exec_seq.get(&client).copied().unwrap_or(0);
+            self.last_exec_seq.insert(client, hi.max(seq), |_| false);
         }
         self.seen_requests
             .retain(|id, _| id.seq >= *self.last_exec_seq.get(&id.client).unwrap_or(&0));

@@ -28,9 +28,11 @@
 pub mod app;
 pub mod client;
 pub mod engine;
+pub mod lru;
 pub mod msg;
 
 pub use app::App;
 pub use client::{Client, ClientEffect};
 pub use engine::{CryptoOps, Effect, Engine, EngineConfig, PathMode, TimerKind};
+pub use lru::LruMap;
 pub use msg::{CheckpointCert, CommitCert, CtbMsg, DirectMsg, Prepare, Reply, Request, TbMsg};

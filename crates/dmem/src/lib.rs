@@ -19,4 +19,6 @@
 
 pub mod register;
 
-pub use register::{ReadOutcome, RegisterBank, RegisterId, RegisterReader, RegisterWriter};
+pub use register::{
+    ReadOutcome, RegisterBank, RegisterId, RegisterReader, RegisterWriter, WriteOutcome,
+};

@@ -126,9 +126,12 @@ impl RegisterWriter {
     /// honouring the `δ` cooldown: if called before the register is ready the
     /// write *starts* at the ready time (the writer blocks, as in the paper).
     ///
-    /// Returns the virtual time at which a majority (`f_m + 1`) of memory
-    /// nodes have completed the write, or `None` if no majority is reachable
-    /// (more than `f_m` memory nodes crashed — outside the fault model).
+    /// Returns [`WriteOutcome::Done`] with the virtual time at which a
+    /// majority (`f_m + 1`) of memory nodes completed the write,
+    /// [`WriteOutcome::NoQuorum`] when no majority is reachable (more
+    /// than `f_m` memory nodes crashed — outside the fault model), or
+    /// [`WriteOutcome::IssuerCrashed`] when the issuer itself was dead at
+    /// the write's (possibly δ-deferred) start.
     ///
     /// # Panics
     ///
@@ -141,7 +144,7 @@ impl RegisterWriter {
         ts: u64,
         value: &[u8],
         now: Time,
-    ) -> Option<Time> {
+    ) -> WriteOutcome {
         self.write_internal(fabric, issuer, reg, ts, value, now, true, true)
     }
 
@@ -155,7 +158,7 @@ impl RegisterWriter {
         ts: u64,
         value: &[u8],
         now: Time,
-    ) -> Option<Time> {
+    ) -> WriteOutcome {
         self.write_internal(fabric, issuer, reg, ts, value, now, false, true)
     }
 
@@ -170,7 +173,7 @@ impl RegisterWriter {
         ts: u64,
         value: &[u8],
         now: Time,
-    ) -> Option<Time> {
+    ) -> WriteOutcome {
         self.write_internal(fabric, issuer, reg, ts, value, now, true, false)
     }
 
@@ -185,12 +188,22 @@ impl RegisterWriter {
         now: Time,
         honest_checksum: bool,
         honor_cooldown: bool,
-    ) -> Option<Time> {
+    ) -> WriteOutcome {
         let r = &self.replicas[reg.0];
         assert!(value.len() <= r.value_size, "value exceeds register size");
 
         let start =
             if honor_cooldown && now < self.ready_at[reg.0] { self.ready_at[reg.0] } else { now };
+
+        // A δ-cooldown-deferred write can *start* after the issuer's own
+        // scheduled crash. That used to surface as per-region
+        // `IssuerUnavailable` errors silently skipped below, leaving the
+        // outcome indistinguishable from a crashed memory-node majority.
+        // The issuer's liveness at the start time is a deterministic fact
+        // of the fault schedule — check it once, up front.
+        if fabric.net().is_crashed(issuer, start) {
+            return WriteOutcome::IssuerCrashed;
+        }
 
         // Frame: checksum(ts || value) | ts | value (zero-padded).
         let mut frame = vec![0u8; r.sub_size()];
@@ -212,27 +225,80 @@ impl RegisterWriter {
             match fabric.write(issuer, *tok, *region, offset, &frame, start) {
                 Ok(ticket) => completions.push(ticket.completion),
                 Err(RdmaError::TargetUnavailable) => {} // crashed node: no completion
-                // A δ-cooldown-deferred write can start *after* the
-                // issuer's own crash (its start time is in the future);
-                // the dead issuer's outcome is irrelevant — its
-                // continuation events are dropped by the crash checks.
-                Err(RdmaError::IssuerUnavailable) => {}
+                // Issuer liveness at `start` was established above, and
+                // the fabric checks the same instant for every region.
+                Err(RdmaError::IssuerUnavailable) => {
+                    unreachable!("issuer liveness pre-checked at start time")
+                }
                 Err(e) => panic!("register write failed: {e}"),
             }
         }
         let quorum = r.regions.len() / 2 + 1;
         if completions.len() < quorum {
-            return None;
+            return WriteOutcome::NoQuorum;
         }
         completions.sort_unstable();
         let done = completions[quorum - 1];
         self.ready_at[reg.0] = start + self.delta;
-        Some(done)
+        WriteOutcome::Done(done)
     }
 
     /// The earliest time the next write to `reg` may start.
     pub fn ready_at(&self, reg: RegisterId) -> Time {
         self.ready_at[reg.0]
+    }
+}
+
+/// The outcome of a quorum register write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// A majority (`f_m + 1`) of memory nodes completed the write; the
+    /// time is when the quorum was reached at the issuer.
+    Done(Time),
+    /// Fewer than `f_m + 1` memory nodes were reachable: outside the
+    /// fault model (only possible when tests crash a majority).
+    NoQuorum,
+    /// The *issuer itself* was crashed at the write's (possibly
+    /// δ-deferred) start time. Nothing was attempted; the caller's
+    /// continuation is moot and must not be scheduled. Distinct from
+    /// [`WriteOutcome::NoQuorum`] so a crash-boundary race is never
+    /// mistaken for a memory-node availability failure.
+    IssuerCrashed,
+}
+
+impl WriteOutcome {
+    /// The quorum completion time, when the write succeeded.
+    pub fn done(self) -> Option<Time> {
+        match self {
+            WriteOutcome::Done(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Unwraps [`WriteOutcome::Done`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on `NoQuorum` or `IssuerCrashed`.
+    #[track_caller]
+    pub fn unwrap(self) -> Time {
+        match self {
+            WriteOutcome::Done(t) => t,
+            other => panic!("register write did not complete: {other:?}"),
+        }
+    }
+
+    /// Unwraps [`WriteOutcome::Done`] with a caller-supplied message.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `NoQuorum` or `IssuerCrashed`.
+    #[track_caller]
+    pub fn expect(self, msg: &str) -> Time {
+        match self {
+            WriteOutcome::Done(t) => t,
+            other => panic!("{msg}: {other:?}"),
+        }
     }
 }
 
@@ -264,6 +330,12 @@ pub enum ReadOutcome {
     /// Fewer than `f_m + 1` memory nodes answered: outside the fault model
     /// (only possible when tests crash a majority).
     NoQuorum,
+    /// The *issuer itself* was crashed when the read was issued (a retry
+    /// re-issued at a future completion time can land past the issuer's
+    /// own scheduled crash). Distinct from [`ReadOutcome::NoQuorum`] so a
+    /// crash-boundary race is never mistaken for a memory-node
+    /// availability failure.
+    IssuerCrashed,
 }
 
 /// The result of scanning a whole bank for its highest written timestamp
@@ -306,16 +378,26 @@ impl RegisterReader {
         now: Time,
     ) -> ReadOutcome {
         let r = &self.replicas[reg.0];
+        // A retry after an overlapping write re-issues at its future
+        // completion time, which can land past the issuer's own scheduled
+        // crash. That used to surface as per-node errors silently skipped
+        // below, collapsing into `NoQuorum` — indistinguishable from a
+        // crashed memory-node majority. The issuer's liveness at `now` is
+        // a deterministic fact of the fault schedule: report it as its
+        // own outcome.
+        if fabric.net().is_crashed(issuer, now) {
+            return ReadOutcome::IssuerCrashed;
+        }
         let mut node_reads: Vec<(Time, Vec<u8>)> = Vec::new();
         for region in &r.regions {
             match fabric.read(issuer, *region, 0, r.reg_size(), now) {
                 Ok(ticket) => node_reads.push((ticket.completion, ticket.data)),
                 Err(RdmaError::TargetUnavailable) => {}
-                // A retry after an overlapping write re-issues at its
-                // future completion time, which can land past the issuer's
-                // own scheduled crash; the dead issuer's read outcome is
-                // irrelevant (its continuation events are dropped).
-                Err(RdmaError::IssuerUnavailable) => {}
+                // Issuer liveness at `now` was established above, and the
+                // fabric checks the same instant for every node.
+                Err(RdmaError::IssuerUnavailable) => {
+                    unreachable!("issuer liveness pre-checked at issue time")
+                }
                 Err(e) => panic!("register read failed: {e}"),
             }
         }
@@ -397,6 +479,9 @@ impl RegisterReader {
                         at = c;
                     }
                     ReadOutcome::NoQuorum => break,
+                    // The scanning joiner itself died: every further read
+                    // would fail identically, so stop scanning outright.
+                    ReadOutcome::IssuerCrashed => return TailScan { max_ts, completion },
                 }
             }
         }
@@ -520,9 +605,71 @@ mod tests {
         f.net_mut().crash_host(HostId(4), Time::ZERO);
         f.net_mut().crash_host(HostId(5), Time::ZERO);
         let mut w = bank.writer();
-        assert_eq!(w.write(&mut f, HostId(0), RegisterId(0), 1, b"x", t(0)), None);
+        assert_eq!(
+            w.write(&mut f, HostId(0), RegisterId(0), 1, b"x", t(0)),
+            WriteOutcome::NoQuorum
+        );
         let r = bank.reader();
         assert_eq!(r.read(&mut f, HostId(1), RegisterId(0), t(0)), ReadOutcome::NoQuorum);
+    }
+
+    /// The crash-boundary regression (PR 5 left this conflated): an issuer
+    /// that is dead at the operation's start must be reported as
+    /// `IssuerCrashed` — deterministically distinct from `NoQuorum`, which
+    /// means the *memory nodes* are outside the fault model.
+    #[test]
+    fn dead_issuer_is_distinct_from_no_quorum() {
+        let (mut f, bank) = setup();
+        f.net_mut().crash_host(HostId(0), t(5));
+        let mut w = bank.writer();
+        let r = bank.reader();
+        // Before its crash the issuer operates normally.
+        let done = w.write(&mut f, HostId(0), RegisterId(0), 1, b"pre", t(0)).unwrap();
+        assert!(done < t(5));
+        // At and past the crash boundary: IssuerCrashed, never NoQuorum.
+        assert_eq!(
+            w.write(&mut f, HostId(0), RegisterId(0), 2, b"post", t(5)),
+            WriteOutcome::IssuerCrashed
+        );
+        assert_eq!(r.read(&mut f, HostId(0), RegisterId(0), t(6)), ReadOutcome::IssuerCrashed);
+        // Every memory node is alive, so a *live* issuer still has quorum:
+        // the verdict above was about the issuer, not the bank.
+        match r.read(&mut f, HostId(1), RegisterId(0), t(6)) {
+            ReadOutcome::Value { ts, .. } => assert_eq!(ts, 1),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    /// The δ-cooldown race: a write *issued* while the issuer is alive
+    /// but *deferred* past its crash starts dead. It must report
+    /// `IssuerCrashed`, not silently lose completions into `NoQuorum`.
+    #[test]
+    fn cooldown_deferred_write_past_own_crash_is_issuer_crashed() {
+        let (mut f, bank) = setup();
+        let mut w = bank.writer();
+        let d1 = w.write(&mut f, HostId(0), RegisterId(0), 1, b"a", t(0)).unwrap();
+        assert!(d1 < t(0) + delta());
+        // Crash inside the cooldown window: the next write is issued
+        // before the crash but can only start after it.
+        f.net_mut().crash_host(HostId(0), t(3));
+        assert_eq!(
+            w.write(&mut f, HostId(0), RegisterId(0), 2, b"b", t(1)),
+            WriteOutcome::IssuerCrashed
+        );
+    }
+
+    /// A tail scan whose issuer dies mid-scan stops deterministically
+    /// with whatever it had, instead of mis-reading the remaining
+    /// registers as quorum failures.
+    #[test]
+    fn scan_tail_by_dead_issuer_finds_nothing() {
+        let (mut f, bank) = setup();
+        let mut w = bank.writer();
+        let _ = w.write(&mut f, HostId(0), RegisterId(0), 7, b"tail", t(0)).unwrap();
+        f.net_mut().crash_host(HostId(1), t(50));
+        let scan = bank.reader().scan_tail(&mut f, HostId(1), t(60));
+        assert_eq!(scan.max_ts, None);
+        assert_eq!(scan.completion, t(60));
     }
 
     #[test]

@@ -76,6 +76,7 @@ proptest! {
                 prop_assert!(false, "honest writer branded byzantine");
             }
             ReadOutcome::NoQuorum => prop_assert!(false, "quorum lost without crashes"),
+            ReadOutcome::IssuerCrashed => prop_assert!(false, "issuer alive but reported dead"),
         }
     }
 

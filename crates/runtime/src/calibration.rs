@@ -81,6 +81,43 @@ pub struct SimConfig {
     /// ([`SimConfig::with_audit_mutation`]); never set in production
     /// configurations.
     pub audit_mutation: Option<AuditMutation>,
+    /// Capacity of the per-client dedup table and last-reply cache
+    /// ([`EngineConfig::client_cache_cap`](ubft_core::engine::EngineConfig)).
+    /// `None` — the default — keeps one entry per client forever (the
+    /// paper prototype's unbounded tables); `Some(c)` bounds both with
+    /// deterministic LRU eviction. The engine floors the effective cap so
+    /// in-flight requests can never be evicted into re-execution.
+    pub client_cache_cap: Option<usize>,
+    /// Which deployment backend runs this configuration. The
+    /// discrete-event simulator ([`Backend::Sim`], the default) is
+    /// deterministic virtual time; [`Backend::Threads`]
+    /// ([`crate::threads`]) runs every node on its own OS thread against
+    /// the wall clock.
+    pub backend: Backend,
+    /// Threaded backend only: size of the shared crypto worker pool that
+    /// signature/digest work is offloaded to (the paper's background
+    /// crypto cores, §5.4). Ignored by the simulator, which models one
+    /// crypto core per replica as a virtual-time cursor.
+    pub crypto_workers: usize,
+    /// Threaded backend only: multiplier stretching virtual-time timer
+    /// durations (progress watchdog, slow-path trigger, retransmit tick)
+    /// into wall-clock time. The simulator's timers are calibrated to
+    /// RDMA microseconds; OS scheduling jitter is orders of magnitude
+    /// coarser, so un-stretched timers fire spuriously and derail runs
+    /// into view changes. Ignored by the simulator.
+    pub time_scale: u32,
+}
+
+/// Deployment backend selector ([`SimConfig::backend`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Deterministic discrete-event simulation in virtual time — every
+    /// existing test and calibration figure runs here, bit-for-bit.
+    Sim,
+    /// Wall-clock execution: one OS thread per replica, client driver,
+    /// and memory node, connected by in-process queues
+    /// ([`crate::threads`]).
+    Threads,
 }
 
 impl SimConfig {
@@ -113,6 +150,10 @@ impl SimConfig {
             shard_failures: Vec::new(),
             audit: false,
             audit_mutation: None,
+            client_cache_cap: None,
+            backend: Backend::Sim,
+            crypto_workers: 2,
+            time_scale: 20,
         }
     }
 
@@ -164,6 +205,37 @@ impl SimConfig {
     #[must_use]
     pub fn with_clients(mut self, n: usize) -> Self {
         self.n_clients = n.max(1);
+        self
+    }
+
+    /// Bounds the per-client dedup table and last-reply cache to `cap`
+    /// entries with deterministic LRU eviction (subject to the engine's
+    /// in-flight safety floor). The default (`None`) is unbounded.
+    #[must_use]
+    pub fn with_client_cache_cap(mut self, cap: usize) -> Self {
+        self.client_cache_cap = Some(cap);
+        self
+    }
+
+    /// Selects the deployment backend (default: the deterministic
+    /// discrete-event simulator).
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sizes the threaded backend's shared crypto worker pool.
+    #[must_use]
+    pub fn with_crypto_workers(mut self, n: usize) -> Self {
+        self.crypto_workers = n.max(1);
+        self
+    }
+
+    /// Sets the threaded backend's virtual-to-wall-clock timer stretch.
+    #[must_use]
+    pub fn with_time_scale(mut self, scale: u32) -> Self {
+        self.time_scale = scale.max(1);
         self
     }
 

@@ -131,6 +131,14 @@ impl Cluster {
         self.dep.groups[0].decided_of(r)
     }
 
+    /// Resident entries in replica `r`'s request-dedup table. Unbounded
+    /// runs grow one entry per client; runs with
+    /// [`SimConfig::with_client_cache_cap`] stay at the (floored) cap —
+    /// tests use this to prove eviction actually occurred.
+    pub fn dedup_entries(&self, r: usize) -> usize {
+        self.dep.groups[0].dedup_entries(r)
+    }
+
     /// Total disaggregated-memory bytes occupied on one memory node by the
     /// register banks (Table 2). Every memory node holds a full copy of
     /// every register, so this is independent of the replication factor.

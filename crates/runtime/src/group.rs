@@ -12,8 +12,6 @@
 //! group-local and mapped into the global `HostId` space via each group's
 //! host-block base.
 
-use std::collections::HashMap;
-
 use ubft_core::app::App;
 use ubft_core::client::{Client, ClientEffect};
 use ubft_core::engine::{CryptoOps, Effect, Engine, EngineConfig, PathMode, TimerKind};
@@ -22,13 +20,19 @@ use ubft_crypto::{KeyRing, Signature};
 use ubft_ctb::ctbcast::{Ctb, CtbConfig, CtbEffect, RegEntry, SlowMode, VerifyTag};
 use ubft_ctb::tbcast::{TailBroadcaster, TailReceiver, TbEffect};
 use ubft_ctb::wire::{signed_bytes, CtbWire, TbAck, TbFrame, TbWire};
-use ubft_dmem::register::{ReadOutcome, RegisterBank, RegisterId, RegisterReader, RegisterWriter};
+use ubft_dmem::register::{
+    ReadOutcome, RegisterBank, RegisterId, RegisterReader, RegisterWriter, WriteOutcome,
+};
 use ubft_rdma::Fabric;
 use ubft_sim::failure::ByzantineMode;
 use ubft_sim::net::NetworkModel;
 use ubft_sim::stats::LatencyStats;
 use ubft_sim::{EventQueue, HostId, SimRng};
-use ubft_transport::channel::{create_channel, ChannelReceiver, ChannelSender, ChannelSpec};
+use ubft_transport::channel::ChannelSpec;
+use ubft_transport::net::{
+    LaneId, Transport, LANE_CLIENT_REQ, LANE_CLIENT_RESP, LANE_CONS_TB, LANE_DIRECT,
+};
+use ubft_transport::sim_link::SimLinkTransport;
 use ubft_types::wire::Wire;
 use ubft_types::{ClientId, Duration, ProcessId, ReplicaId, SeqId, Slot, Time, View};
 
@@ -50,6 +54,21 @@ pub(crate) enum Lane {
     ClientReq,
     /// Replica replies.
     ClientResp,
+}
+
+impl Lane {
+    /// The lane's id in the transport's flat [`LaneId`] namespace:
+    /// CTBcast stream `s` maps to lane `s`, everything else to the
+    /// reserved high ids (stream counts are far below them).
+    pub(crate) fn id(self) -> LaneId {
+        match self {
+            Lane::CtbTb { stream } => stream as LaneId,
+            Lane::ConsTb => LANE_CONS_TB,
+            Lane::Direct => LANE_DIRECT,
+            Lane::ClientReq => LANE_CLIENT_REQ,
+            Lane::ClientResp => LANE_CLIENT_RESP,
+        }
+    }
 }
 
 /// Simulation events. All indices are group-local; the queue tags each
@@ -156,11 +175,6 @@ fn client_retry_period() -> Duration {
     Duration::from_micros(1_500)
 }
 
-struct Chan {
-    tx: ChannelSender,
-    rx: ChannelReceiver,
-}
-
 /// Deployment-global run control: the closed loop stops on the *total*
 /// completed count, and warmup discarding is likewise global, so a
 /// single-group run behaves exactly like the pre-sharding `Cluster`.
@@ -194,7 +208,9 @@ pub(crate) struct GroupRuntime {
     /// moves that replica to a freshly allocated host. Clients never move.
     hosts: Vec<HostId>,
     pub(crate) nodes: Vec<ReplicaNode>,
-    channels: HashMap<(Lane, usize, usize), Chan>,
+    /// The group's message plane: simulated circular-buffer links behind
+    /// the [`Transport`] trait (the fabric is the call-site context).
+    transport: SimLinkTransport,
     /// `reg_banks[stream][owner]`: the SWMR banks themselves, retained so
     /// a replacement node can be re-keyed as a bank's writer.
     reg_banks: Vec<Vec<RegisterBank>>,
@@ -318,38 +334,41 @@ impl GroupRuntime {
             .map(|_r| (0..n).map(|s| TailReceiver::new(ReplicaId(s as u32), cap)).collect())
             .collect();
 
-        // Channels, in the shared fabric, addressed by global host ids.
+        // Links, in the shared fabric, addressed by global host ids.
         let host = |local: usize| HostId(host_base + local as u32);
         let spec = ChannelSpec { slots: cap, slot_payload: cfg.slot_payload() };
         let wide_spec = ChannelSpec { slots: cap, slot_payload: cfg.wide_slot_payload() };
         let client_spec = ChannelSpec { slots: 64, slot_payload: cfg.slot_payload() };
-        let mut channels = HashMap::new();
+        let mut transport = SimLinkTransport::new();
+        let mut open = |fabric: &mut Fabric, lane: Lane, from: usize, to: usize, spec| {
+            transport.open_link(
+                fabric,
+                lane.id(),
+                from as u32,
+                to as u32,
+                host(from),
+                host(to),
+                spec,
+            );
+        };
         for from in 0..n {
             for to in 0..n {
                 if from == to {
                     continue;
                 }
                 for s in 0..n {
-                    let (mut tx, rx) = create_channel(sh.fabric, host(to), spec);
-                    tx.bind_issuer(host(from));
-                    channels.insert((Lane::CtbTb { stream: s }, from, to), Chan { tx, rx });
+                    open(sh.fabric, Lane::CtbTb { stream: s }, from, to, spec);
                 }
                 for lane in [Lane::ConsTb, Lane::Direct] {
-                    let (mut tx, rx) = create_channel(sh.fabric, host(to), wide_spec);
-                    tx.bind_issuer(host(from));
-                    channels.insert((lane, from, to), Chan { tx, rx });
+                    open(sh.fabric, lane, from, to, wide_spec);
                 }
             }
         }
         for c in 0..n_clients {
             let c_node = n + c;
             for r in 0..n {
-                let (mut tx, rx) = create_channel(sh.fabric, host(r), client_spec);
-                tx.bind_issuer(host(c_node));
-                channels.insert((Lane::ClientReq, c_node, r), Chan { tx, rx });
-                let (mut tx, rx) = create_channel(sh.fabric, host(c_node), client_spec);
-                tx.bind_issuer(host(r));
-                channels.insert((Lane::ClientResp, r, c_node), Chan { tx, rx });
+                open(sh.fabric, Lane::ClientReq, c_node, r, client_spec);
+                open(sh.fabric, Lane::ClientResp, r, c_node, client_spec);
             }
         }
 
@@ -417,7 +436,14 @@ impl GroupRuntime {
                 deferred_until: Time::ZERO,
                 epoch: 0,
                 summary_stall_ticks: 0,
-                reply_cache: HashMap::new(),
+                // Mirrors the engine's in-flight floor: an entry evicted
+                // before its client could possibly need a re-reply would
+                // stall that client forever.
+                reply_cache: ubft_core::lru::LruMap::new(
+                    cfg.client_cache_cap
+                        .map(|c| c.max(2 * cfg.params.window * cfg.max_batch.max(1))),
+                ),
+                exec_log: Vec::new(),
             })
             .collect();
 
@@ -429,7 +455,7 @@ impl GroupRuntime {
             host_base,
             hosts: (0..n as u32).map(|r| HostId(host_base + r)).collect(),
             nodes,
-            channels,
+            transport,
             reg_banks,
             reg_readers,
             reg_banks_bytes_per_node: bank_bytes,
@@ -617,9 +643,9 @@ impl GroupRuntime {
             aud.on_replace(self.gid as usize, r);
         }
 
-        // Fresh channels for every lane touching r, in both directions
-        // (the old node's sender cursors and in-flight slots died with
-        // it). Recreating a map entry drops the old endpoints.
+        // Fresh links for every lane touching r, in both directions (the
+        // old node's sender cursors and in-flight slots died with it).
+        // Re-opening a link drops the old endpoints.
         let cap = 2 * self.cfg.params.tail;
         let spec = ChannelSpec { slots: cap, slot_payload: self.cfg.slot_payload() };
         let wide_spec = ChannelSpec { slots: cap, slot_payload: self.cfg.wide_slot_payload() };
@@ -630,25 +656,49 @@ impl GroupRuntime {
             }
             for (from, to) in [(r, peer), (peer, r)] {
                 for s in 0..n {
-                    let (mut tx, rx) = create_channel(sh.fabric, self.host_of(to), spec);
-                    tx.bind_issuer(self.host_of(from));
-                    self.channels.insert((Lane::CtbTb { stream: s }, from, to), Chan { tx, rx });
+                    self.transport.open_link(
+                        sh.fabric,
+                        Lane::CtbTb { stream: s }.id(),
+                        from as u32,
+                        to as u32,
+                        self.host_of(from),
+                        self.host_of(to),
+                        spec,
+                    );
                 }
                 for lane in [Lane::ConsTb, Lane::Direct] {
-                    let (mut tx, rx) = create_channel(sh.fabric, self.host_of(to), wide_spec);
-                    tx.bind_issuer(self.host_of(from));
-                    self.channels.insert((lane, from, to), Chan { tx, rx });
+                    self.transport.open_link(
+                        sh.fabric,
+                        lane.id(),
+                        from as u32,
+                        to as u32,
+                        self.host_of(from),
+                        self.host_of(to),
+                        wide_spec,
+                    );
                 }
             }
         }
         for c in 0..n_clients {
             let c_node = self.client_node(c);
-            let (mut tx, rx) = create_channel(sh.fabric, new_host, client_spec);
-            tx.bind_issuer(self.host_of(c_node));
-            self.channels.insert((Lane::ClientReq, c_node, r), Chan { tx, rx });
-            let (mut tx, rx) = create_channel(sh.fabric, self.host_of(c_node), client_spec);
-            tx.bind_issuer(new_host);
-            self.channels.insert((Lane::ClientResp, r, c_node), Chan { tx, rx });
+            self.transport.open_link(
+                sh.fabric,
+                Lane::ClientReq.id(),
+                c_node as u32,
+                r as u32,
+                self.host_of(c_node),
+                new_host,
+                client_spec,
+            );
+            self.transport.open_link(
+                sh.fabric,
+                Lane::ClientResp.id(),
+                r as u32,
+                c_node as u32,
+                new_host,
+                self.host_of(c_node),
+                client_spec,
+            );
         }
 
         // Peers' TB receivers for r's lanes start over: the replacement's
@@ -766,6 +816,19 @@ impl GroupRuntime {
         self.nodes[r].engine.decided_count()
     }
 
+    /// Resident entries in replica `r`'s request-dedup table (bounded by
+    /// [`SimConfig::client_cache_cap`]; tests assert eviction kicked in).
+    pub(crate) fn dedup_entries(&self, r: usize) -> usize {
+        self.nodes[r].engine.exec_table().len()
+    }
+
+    /// Every non-noop request replica `r` executed, in execution order
+    /// (the backend-equivalence suite compares this against the threaded
+    /// runtime's per-replica log).
+    pub(crate) fn exec_log(&self, r: usize) -> &[(ClientId, u64)] {
+        &self.nodes[r].exec_log
+    }
+
     /// Final views of every replica, in replica order.
     pub(crate) fn views(&self) -> Vec<View> {
         self.nodes.iter().map(|nd| nd.engine.view()).collect()
@@ -794,17 +857,7 @@ impl GroupRuntime {
     /// buffers it hosts, sender mirrors/staging, TB retransmission
     /// buffers, and CTBcast bookkeeping (Table 2).
     pub(crate) fn replica_local_bytes(&self, r: usize) -> usize {
-        let mut total = 0usize;
-        for ((_lane, from, to), ch) in &self.channels {
-            if *to == r {
-                total += ch.tx.buffer_bytes(); // receiver-side buffer
-            }
-            if *from == r {
-                total += ch.tx.buffer_bytes(); // sender mirror + staging
-            }
-        }
-        total += self.nodes[r].protocol_resident_bytes();
-        total
+        self.transport.resident_bytes_touching(r as u32) + self.nodes[r].protocol_resident_bytes()
     }
 
     /// Per-replica protocol diagnostics, one line each.
@@ -1004,12 +1057,16 @@ impl GroupRuntime {
                     aud.on_execute(self.gid as usize, r, slot, req.id, applied, &payload);
                 }
                 let done = self.charge(r, at, cost);
+                if !req.is_noop() {
+                    self.nodes[r].exec_log.push((req.id.client, req.id.seq));
+                }
                 if !req.is_noop() && (req.id.client.0 as usize) < self.clients.len() {
                     let reply = Reply { id: req.id, replica: ReplicaId(r as u32), payload };
-                    // Last-reply table (bounded: one entry per client), so
-                    // a retransmitted already-executed request can be
-                    // re-answered.
-                    self.nodes[r].reply_cache.insert(req.id.client, reply.clone());
+                    // Last-reply table (one entry per client, LRU-bounded
+                    // when capped), so a retransmitted already-executed
+                    // request can be re-answered.
+                    let _ =
+                        self.nodes[r].reply_cache.insert(req.id.client, reply.clone(), |_| false);
                     let c_node = self.client_node(req.id.client.0 as usize);
                     self.counters.rpc_msgs += 1;
                     self.channel_send(sh, Lane::ClientResp, r, c_node, reply.to_bytes(), done);
@@ -1147,7 +1204,7 @@ impl GroupRuntime {
                     entry.fp = ubft_crypto::Digest::from_bytes(fp);
                 }
                 let bytes = entry.to_bytes();
-                let done = self.nodes[r].reg_writers[stream].write(
+                let outcome = self.nodes[r].reg_writers[stream].write(
                     sh.fabric,
                     host,
                     RegisterId(slot),
@@ -1155,8 +1212,18 @@ impl GroupRuntime {
                     &bytes,
                     at,
                 );
-                if let Some(done) = done {
-                    self.push(sh, done, Ev::CtbWritten { r, stream, k });
+                match outcome {
+                    WriteOutcome::Done(done) => {
+                        self.push(sh, done, Ev::CtbWritten { r, stream, k });
+                    }
+                    // The writer died at a crash boundary (possibly via the
+                    // δ-cooldown deferring the start past its own crash):
+                    // its continuation events are dropped by the crash
+                    // checks, so there is nothing to schedule.
+                    WriteOutcome::IssuerCrashed => {}
+                    // Outside the fault model (> f_m memory nodes down);
+                    // the slow path simply cannot complete.
+                    WriteOutcome::NoQuorum => {}
                 }
             }
             CtbEffect::ReadSlot { slot, k } => {
@@ -1277,6 +1344,11 @@ impl GroupRuntime {
                         attempt_at = c;
                     }
                     ReadOutcome::NoQuorum => break,
+                    // The reading replica itself hit its crash boundary
+                    // (a retry can re-issue past its own scheduled
+                    // crash); the continuation is dropped by the crash
+                    // checks, so what it "read" is irrelevant.
+                    ReadOutcome::IssuerCrashed => break,
                 }
             }
             entries.push(parsed);
@@ -1377,51 +1449,44 @@ impl GroupRuntime {
             Some(ByzantineMode::Laggard) => at += Duration::from_micros(50),
             _ => {}
         }
-        let Some(ch) = self.channels.get_mut(&(lane, from, to)) else {
-            return;
-        };
-        let out = ch.tx.send(sh.fabric, at, &bytes);
-        let staged = ch.tx.staged_len() > 0;
-        let flush_at = ch.tx.next_flush_at();
-        for (_seq, arrival) in out.issued {
+        let rep = self.transport.send(sh.fabric, lane.id(), from as u32, to as u32, &bytes, at);
+        self.schedule_send_report(sh, lane, from, to, at, rep);
+    }
+
+    /// Turns a [`SendReport`](ubft_transport::net::SendReport) into
+    /// virtual-time events: a receiver poll per issued arrival, and a
+    /// flush when data stayed staged.
+    fn schedule_send_report(
+        &mut self,
+        sh: &mut Shared<'_>,
+        lane: Lane,
+        from: usize,
+        to: usize,
+        at: Time,
+        rep: ubft_transport::net::SendReport,
+    ) {
+        for arrival in rep.arrivals {
             sh.events.push(arrival + self.cfg.poll_pickup, (self.gid, Ev::Poll { lane, from, to }));
         }
-        if staged {
-            if let Some(t) = flush_at {
-                let t = if t > at { t } else { at + Duration::from_nanos(1) };
-                sh.events.push(t, (self.gid, Ev::Flush { lane, from, to }));
-            }
+        if let Some(t) = rep.flush_at {
+            let t = if t > at { t } else { at + Duration::from_nanos(1) };
+            sh.events.push(t, (self.gid, Ev::Flush { lane, from, to }));
         }
     }
 
     fn on_flush(&mut self, sh: &mut Shared<'_>, lane: Lane, from: usize, to: usize, at: Time) {
-        let Some(ch) = self.channels.get_mut(&(lane, from, to)) else {
-            return;
-        };
-        let out = ch.tx.flush(sh.fabric, at);
-        let staged = ch.tx.staged_len() > 0;
-        let flush_at = ch.tx.next_flush_at();
-        for (_seq, arrival) in out.issued {
-            sh.events.push(arrival + self.cfg.poll_pickup, (self.gid, Ev::Poll { lane, from, to }));
-        }
-        if staged {
-            if let Some(t) = flush_at {
-                let t = if t > at { t } else { at + Duration::from_nanos(1) };
-                sh.events.push(t, (self.gid, Ev::Flush { lane, from, to }));
-            }
-        }
+        let rep = self.transport.flush(sh.fabric, lane.id(), from as u32, to as u32, at);
+        self.schedule_send_report(sh, lane, from, to, at, rep);
     }
 
     fn on_poll(&mut self, sh: &mut Shared<'_>, lane: Lane, from: usize, to: usize, at: Time) {
-        let Some(ch) = self.channels.get_mut(&(lane, from, to)) else {
-            return;
-        };
-        let out = ch.rx.poll(sh.fabric, at);
+        let out =
+            self.transport.recv_poll(sh.fabric, to as u32, Some((lane.id(), from as u32)), at);
         if out.repoll {
             sh.events.push(at + Duration::from_nanos(200), (self.gid, Ev::Poll { lane, from, to }));
         }
-        for (_seq, payload) in out.delivered {
-            self.dispatch_message(sh, lane, from, to, payload, at);
+        for inb in out.delivered {
+            self.dispatch_message(sh, lane, from, to, inb.payload, at);
         }
     }
 
@@ -1919,14 +1984,14 @@ impl Deployment {
 
 /// Per-group seed derivation: group 0 keeps the base seed (the facade's
 /// bit-for-bit guarantee), later groups fold in a golden-ratio multiple.
-fn group_seed(base: u64, g: usize) -> u64 {
+pub(crate) fn group_seed(base: u64, g: usize) -> u64 {
     base ^ (g as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// The engine configuration a [`SimConfig`] prescribes for one replica —
-/// shared by initial construction and replacement-node construction so the
-/// two can never drift.
-fn engine_config(cfg: &SimConfig, replica: usize) -> EngineConfig {
+/// shared by initial construction, replacement-node construction, and the
+/// wall-clock threaded backend, so the three can never drift.
+pub(crate) fn engine_config(cfg: &SimConfig, replica: usize) -> EngineConfig {
     let mut ecfg = EngineConfig::new(cfg.params.clone(), cfg.path);
     ecfg.echo_round = cfg.echo_round;
     if let Some(every) = cfg.summary_every {
@@ -1937,6 +2002,7 @@ fn engine_config(cfg: &SimConfig, replica: usize) -> EngineConfig {
         ecfg.pipeline_depth = depth.max(1);
     }
     ecfg.record_decisions = cfg.audit;
+    ecfg.client_cache_cap = cfg.client_cache_cap;
     if let Some(AuditMutation::DecideEarly { replica: target }) = cfg.audit_mutation {
         ecfg.test_decide_early = target == replica;
     }

@@ -24,11 +24,16 @@ pub mod calibration;
 pub mod cluster;
 pub mod memory;
 pub mod sharded;
+pub mod threads;
 
 mod group;
 mod node;
 
 pub use audit::{AuditMutation, AuditReport, AuditViolation, Auditor, ViolationKind};
-pub use calibration::SimConfig;
+pub use calibration::{Backend, SimConfig};
 pub use cluster::{Cluster, OpCounters, RunReport};
 pub use sharded::{ShardReport, ShardedCluster};
+pub use threads::{
+    run_backend, run_wallclock, ThreadWorkload, WallGroupReport, WallOptions, WallReplicaReport,
+    WallReport,
+};

@@ -2,10 +2,9 @@
 //! single uBFT replica owns — previously inlined as parallel `Vec`s in the
 //! `Cluster` monolith.
 
-use std::collections::HashMap;
-
 use ubft_core::app::App;
 use ubft_core::engine::Engine;
+use ubft_core::lru::LruMap;
 use ubft_core::msg::Reply;
 use ubft_crypto::Digest;
 use ubft_ctb::ctbcast::Ctb;
@@ -95,7 +94,15 @@ pub(crate) struct ReplicaNode {
     /// retransmitted request that already executed is answered from here —
     /// the engine's dedup cannot re-execute it, and without the cached
     /// reply a client whose response was lost would stall forever.
-    pub reply_cache: HashMap<ClientId, Reply>,
+    /// Bounded alongside the engine's dedup table by
+    /// [`SimConfig::client_cache_cap`](crate::calibration::SimConfig):
+    /// replica-local, so eviction needs no cross-replica agreement.
+    pub reply_cache: LruMap<ClientId, Reply>,
+    /// Every non-noop request this replica executed, in execution order.
+    /// Pure observation (no event or RNG interaction), recorded so the
+    /// backend-equivalence suite can compare decided sequences between the
+    /// simulator and the wall-clock threaded runtime request by request.
+    pub exec_log: Vec<(ClientId, u64)>,
 }
 
 impl ReplicaNode {

@@ -14,7 +14,13 @@
 //! piggybacks acks in SMR-level messages (§6.2).
 
 pub mod channel;
+pub mod inproc;
+pub mod net;
 pub mod rpc;
+pub mod sim_link;
 
 pub use channel::{ChannelReceiver, ChannelSender, ChannelSpec, PollOutcome, SendOutcome};
+pub use inproc::{inproc_mesh, InMsg, InProcEndpoint, InProcRouter};
+pub use net::{Inbound, LaneId, PollReport, SendReport, Transport};
 pub use rpc::{ResponseCollector, RpcRequest, RpcResponse};
+pub use sim_link::SimLinkTransport;

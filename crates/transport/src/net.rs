@@ -1,0 +1,133 @@
+//! The pluggable transport abstraction every deployment backend speaks.
+//!
+//! A [`Transport`] carries opaque byte payloads between *nodes* (dense
+//! `u32` indices assigned by the deployment) over *lanes* (a [`LaneId`]
+//! namespace the runtime defines: one lane per CTBcast stream plus fixed
+//! lanes for consensus TBcast, direct messages, and client RPC). The
+//! contract is exactly what the protocol stack assumes of the RDMA
+//! fabric's circular-buffer channels:
+//!
+//! * **Per-pair FIFO**: of the messages a `(lane, from, to)` triple
+//!   delivers, delivery order equals send order. Messages may be *dropped*
+//!   (a slower receiver's buffer overwrites its tail) but never reordered
+//!   or duplicated.
+//! * **Send never blocks**: a send either stages or overwrites; the
+//!   sender learns about completions through the [`SendReport`].
+//!
+//! Two implementations exist: [`SimLinkTransport`](crate::sim_link) wraps
+//! the discrete-event fabric's channels (its `Ctx` is the shared
+//! [`Fabric`](ubft_rdma::Fabric), and reports carry *virtual-time*
+//! scheduling hints), and [`InProcEndpoint`](crate::inproc) connects OS
+//! threads through lock-free in-process queues (its `Ctx` is `()` and
+//! delivery is immediate — the receiving thread wakes on its inbox).
+
+use ubft_types::Time;
+
+/// Lane identifier. The runtime maps its protocol lanes into this
+/// namespace: CTBcast stream `s` uses lane `s`, and the reserved lanes
+/// below carry everything else.
+pub type LaneId = u32;
+
+/// Consensus-level TBcast traffic.
+pub const LANE_CONS_TB: LaneId = 0xFFFF_FF00;
+/// Point-to-point protocol messages.
+pub const LANE_DIRECT: LaneId = 0xFFFF_FF01;
+/// Client requests.
+pub const LANE_CLIENT_REQ: LaneId = 0xFFFF_FF02;
+/// Replica replies to clients.
+pub const LANE_CLIENT_RESP: LaneId = 0xFFFF_FF03;
+
+/// What a send (or flush) accomplished, in the transport's own time base.
+#[derive(Clone, Debug, Default)]
+pub struct SendReport {
+    /// Completion times of writes issued to the wire by this call. A
+    /// simulated transport reports virtual arrival times so the driver can
+    /// schedule receiver polls; an in-process transport delivers eagerly
+    /// and reports nothing.
+    pub arrivals: Vec<Time>,
+    /// When staged (not yet issued) data will next become flushable;
+    /// `None` when nothing is staged. Drivers schedule a
+    /// [`Transport::flush`] at this time.
+    pub flush_at: Option<Time>,
+    /// Messages evicted unsent by this call (buffer overwrite under
+    /// backpressure).
+    pub evicted: u64,
+}
+
+/// One delivered message.
+#[derive(Clone, Debug)]
+pub struct Inbound {
+    /// Lane the message arrived on.
+    pub lane: LaneId,
+    /// Sending node.
+    pub from: u32,
+    /// The payload bytes, exactly as sent.
+    pub payload: Vec<u8>,
+}
+
+/// The outcome of one receive poll.
+#[derive(Clone, Debug, Default)]
+pub struct PollReport {
+    /// Messages delivered by this poll, in delivery order.
+    pub delivered: Vec<Inbound>,
+    /// Whether the receiver observed in-flight data worth re-polling for
+    /// shortly (a torn slot mid-write). In-process transports never set
+    /// this — their receivers block instead of polling.
+    pub repoll: bool,
+}
+
+/// A deployment backend's message plane. See the module docs for the
+/// delivery contract.
+pub trait Transport {
+    /// Backend context threaded through every call: the shared simulated
+    /// fabric for the discrete-event backend, `()` for in-process queues.
+    type Ctx: ?Sized;
+
+    /// Sends `payload` from node `from` to node `to` on `lane`. Never
+    /// blocks; per-pair FIFO order is `send` call order.
+    fn send(
+        &mut self,
+        ctx: &mut Self::Ctx,
+        lane: LaneId,
+        from: u32,
+        to: u32,
+        payload: &[u8],
+        now: Time,
+    ) -> SendReport;
+
+    /// Retries staged data on one link (backends whose sends can stage;
+    /// a no-op elsewhere).
+    fn flush(
+        &mut self,
+        ctx: &mut Self::Ctx,
+        lane: LaneId,
+        from: u32,
+        to: u32,
+        now: Time,
+    ) -> SendReport;
+
+    /// Polls node `to`'s receive side. `from = Some((lane, sender))`
+    /// restricts the poll to one link (how the simulated backend walks
+    /// its per-link buffers); `None` drains everything pending (how the
+    /// in-process backend empties its inbox).
+    fn recv_poll(
+        &mut self,
+        ctx: &mut Self::Ctx,
+        to: u32,
+        from: Option<(LaneId, u32)>,
+        now: Time,
+    ) -> PollReport;
+
+    /// Sends `payload` to every node in `to`, reporting per-destination.
+    fn multicast(
+        &mut self,
+        ctx: &mut Self::Ctx,
+        lane: LaneId,
+        from: u32,
+        to: &[u32],
+        payload: &[u8],
+        now: Time,
+    ) -> Vec<(u32, SendReport)> {
+        to.iter().map(|&t| (t, self.send(ctx, lane, from, t, payload, now))).collect()
+    }
+}

@@ -1,0 +1,90 @@
+//! Pinned simulator outputs: exact digests, counters, and end times of
+//! representative runs, captured before the `Transport` refactor. The
+//! simulator backend is a calibrated instrument — any change to these
+//! values means virtual-time behaviour drifted, which invalidates every
+//! figure the repo reproduces. A deliberate behaviour change must update
+//! the pins in the same commit and say why.
+
+use ubft::runtime::cluster::Cluster;
+use ubft::runtime::sharded::ShardedCluster;
+use ubft::runtime::SimConfig;
+use ubft_core::app::App;
+use ubft_types::Time;
+
+fn flip_apps(n: usize) -> Vec<Box<dyn App>> {
+    (0..n).map(|_| Box::new(ubft_apps::FlipApp::new()) as Box<dyn App>).collect()
+}
+
+fn payload32() -> Box<dyn FnMut(u64) -> Vec<u8>> {
+    Box::new(|i| {
+        let mut p = vec![0u8; 32];
+        p[..8].copy_from_slice(&i.to_le_bytes());
+        p
+    })
+}
+
+fn hex(d: &ubft_crypto::Digest) -> String {
+    d.as_bytes().iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// One run's pinned observables, formatted as a single comparable string.
+fn fingerprint(cfg: SimConfig, requests: u64, warmup: u64) -> String {
+    let mut cluster = Cluster::new(cfg, flip_apps(3), payload32());
+    let report = cluster.run(requests, warmup);
+    let mut lat = report.latency;
+    format!(
+        "digest={} completed={} end={} mean={} p50={} counters={:?} views={:?}",
+        hex(&cluster.app_digest(0)),
+        report.completed,
+        report.end.since(Time::ZERO).as_nanos(),
+        lat.mean().as_nanos(),
+        lat.median().as_nanos(),
+        report.counters,
+        report.views,
+    )
+}
+
+#[test]
+fn fast_path_run_is_pinned() {
+    let got = fingerprint(SimConfig::paper_default(42).fast_only(), 100, 10);
+    assert_eq!(got, "digest=988e13629eb4fdf6e90745cae887a8509c215729319f72e2d4101a3724265381 completed=110 end=1117417 mean=10287 p50=8743 counters=OpCounters { rpc_msgs: 990, ctb_msgs: 880, cons_msgs: 1322, direct_msgs: 222, ctb_signs: 0, ctb_verifies: 0, engine_signs: 3, engine_verifies: 7, reg_writes: 0, reg_reads: 0 } views=[View(0), View(0), View(0)]");
+}
+
+#[test]
+fn slow_path_run_is_pinned() {
+    let got = fingerprint(SimConfig::paper_default(43).slow_only(), 50, 5);
+    assert_eq!(got, "digest=ab6eb7e3868e84bd8e40dde4f910ae1738298c00e83a112b8ed8831b0d6da6a3 completed=55 end=11299424 mean=205578 p50=203906 counters=OpCounters { rpc_msgs: 495, ctb_msgs: 686, cons_msgs: 540, direct_msgs: 112, ctb_signs: 220, ctb_verifies: 660, engine_signs: 168, engine_verifies: 337, reg_writes: 660, reg_reads: 660 } views=[View(0), View(0), View(0)]");
+}
+
+#[test]
+fn default_path_run_is_pinned() {
+    let got = fingerprint(SimConfig::paper_default(7), 100, 10);
+    assert_eq!(got, "digest=988e13629eb4fdf6e90745cae887a8509c215729319f72e2d4101a3724265381 completed=110 end=1113638 mean=10253 p50=8770 counters=OpCounters { rpc_msgs: 990, ctb_msgs: 880, cons_msgs: 1322, direct_msgs: 222, ctb_signs: 0, ctb_verifies: 0, engine_signs: 3, engine_verifies: 7, reg_writes: 0, reg_reads: 0 } views=[View(0), View(0), View(0)]");
+}
+
+#[test]
+fn batched_multiclient_run_is_pinned() {
+    let cfg = SimConfig::paper_default(11)
+        .fast_only()
+        .with_clients(8)
+        .with_pipeline_depth(2)
+        .with_batch(4);
+    let got = fingerprint(cfg, 120, 12);
+    assert_eq!(got, "digest=7ddbd0addad3b83fdb5b89d5b00cae4646611d44d608ba0a162539f40a0dc522 completed=132 end=174336 mean=9991 p50=9962 counters=OpCounters { rpc_msgs: 1230, ctb_msgs: 448, cons_msgs: 660, direct_msgs: 274, ctb_signs: 0, ctb_verifies: 0, engine_signs: 0, engine_verifies: 0, reg_writes: 0, reg_reads: 0 } views=[View(0), View(0), View(0)]");
+}
+
+#[test]
+fn sharded_run_is_pinned() {
+    let cfg = SimConfig::paper_default(9).fast_only().with_shards(4);
+    let mut cluster = ShardedCluster::new(cfg, |_| flip_apps(3), payload32());
+    let report = cluster.run(200, 20);
+    let digests: Vec<String> = (0..4).map(|g| hex(&cluster.app_digest(g, 0))).collect();
+    let got = format!(
+        "digests={:?} completed={} end={} counters={:?}",
+        digests,
+        report.aggregate.completed,
+        report.aggregate.end.since(Time::ZERO).as_nanos(),
+        report.aggregate.counters,
+    );
+    assert_eq!(got, "digests=[\"0f0e7d028dcdd24b217a9584c805799e694c1fbf5387a29a7b13b9cf6ad6a358\", \"8efaf11b7774fe29158960b9b050881a33f5ca12d5606b8042afff3d9075ec21\", \"8d9cde770fc930b8c9e4ed4e1493f5df4e19f683a1dc77f23880e708126d0276\", \"3d811869f014b4ffb870318609363503337e4a29dd93ec35f5c871e11f368f1b\"] completed=220 end=483524 counters=OpCounters { rpc_msgs: 1994, ctb_msgs: 1760, cons_msgs: 2640, direct_msgs: 443, ctb_signs: 0, ctb_verifies: 0, engine_signs: 0, engine_verifies: 0, reg_writes: 0, reg_reads: 0 }");
+}
